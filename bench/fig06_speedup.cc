@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 6: performance of all nine designs across the seven datasets
+ * at k = 1, 5, 10, normalized to CPU-Base.
+ *
+ * Shapes to reproduce: NDP-Base ~5x over CPU-Base (theoretical 8x
+ * bandwidth); NDP-DimET ineffective on IP datasets (GloVe, Txt2Img);
+ * NDP-BitET competitive only at high dimensionality (GIST); the full
+ * NDP-ETOpt adds ~1.5x over NDP-Base with the largest win on GIST.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace ansmet;
+    using namespace ansmet::bench;
+
+    banner("Figure 6: speedups of all designs (normalized to CPU-Base)",
+           "Section 7.1, Figure 6");
+
+    const auto designs = core::allDesigns();
+    std::map<int, std::map<int, double>> geomean_acc; // k -> design -> sum log
+    std::map<int, int> geomean_n;
+
+    for (const std::size_t k : {std::size_t{1}, std::size_t{5},
+                                std::size_t{10}}) {
+        std::printf("--- k = %zu ---\n", k);
+        std::vector<std::string> header = {"Dataset"};
+        for (const auto d : designs)
+            header.push_back(core::designName(d));
+        TextTable table(header);
+
+        for (const auto id : anns::allDatasets()) {
+            const auto &ctx = context(id, k);
+            table.row().cell(anns::datasetSpec(id).name);
+            double base_qps = 0.0;
+            for (const auto d : designs) {
+                const auto rs = ctx.runDesign(d);
+                const double qps = rs.qps();
+                if (d == core::Design::kCpuBase)
+                    base_qps = qps;
+                const double speedup = qps / base_qps;
+                table.cell(speedup, 2);
+                geomean_acc[static_cast<int>(k)][static_cast<int>(d)] +=
+                    std::log(speedup);
+            }
+            ++geomean_n[static_cast<int>(k)];
+        }
+        // Geomean row.
+        table.row().cell("Geomean");
+        for (const auto d : designs) {
+            table.cell(std::exp(
+                           geomean_acc[static_cast<int>(k)]
+                                      [static_cast<int>(d)] /
+                           geomean_n[static_cast<int>(k)]),
+                       2);
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    std::printf(
+        "Paper shape check (k=10): NDP-Base >> CPU-Base; NDP-DimET ~=\n"
+        "NDP-Base on GloVe/Txt2Img (IP metric defeats partial-dimension\n"
+        "bounds); NDP-BitET strongest on GIST, weak on SIFT; NDP-ETOpt\n"
+        "is the best design overall.\n");
+    return 0;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot kernels: distance
+ * computation, sortable-key codecs, bound accumulation, layout
+ * transformation, and per-comparison fetch simulation. These are the
+ * loops the whole experiment pipeline spends its host time in.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "anns/bruteforce.h"
+#include "anns/dataset.h"
+#include "anns/distance.h"
+#include "anns/heap.h"
+#include "common/prng.h"
+#include "et/bounds.h"
+#include "et/fetchsim.h"
+#include "et/layout.h"
+#include "et/profile.h"
+
+namespace {
+
+using namespace ansmet;
+
+const anns::Dataset &
+deep()
+{
+    static const anns::Dataset ds =
+        anns::makeDataset(anns::DatasetId::kDeep, 2000, 8, 1);
+    return ds;
+}
+
+const et::EtProfile &
+deepProfile()
+{
+    static const et::EtProfile prof = [] {
+        et::ProfileConfig cfg;
+        cfg.numSamples = 50;
+        cfg.maxPairs = 500;
+        return et::buildProfile(*deep().base, deep().metric(), cfg);
+    }();
+    return prof;
+}
+
+void
+BM_DistanceL2(benchmark::State &state)
+{
+    const auto &ds = deep();
+    const auto &q = ds.queries[0];
+    VectorId v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            anns::l2Sq(q.data(), *ds.base, v));
+        v = (v + 1) % static_cast<VectorId>(ds.base->size());
+    }
+    state.SetItemsProcessed(state.iterations() * ds.base->dims());
+}
+BENCHMARK(BM_DistanceL2);
+
+void
+BM_DistanceIp(benchmark::State &state)
+{
+    const auto &ds = deep();
+    const auto &q = ds.queries[0];
+    VectorId v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(anns::negIp(q.data(), *ds.base, v));
+        v = (v + 1) % static_cast<VectorId>(ds.base->size());
+    }
+    state.SetItemsProcessed(state.iterations() * ds.base->dims());
+}
+BENCHMARK(BM_DistanceIp);
+
+void
+BM_SortableKeyRoundTrip(benchmark::State &state)
+{
+    Prng rng(1);
+    std::uint32_t x = static_cast<std::uint32_t>(rng.next());
+    for (auto _ : state) {
+        x = et::fromKey(anns::ScalarType::kFp32,
+                        et::toKey(anns::ScalarType::kFp32, x) + 1);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_SortableKeyRoundTrip);
+
+void
+BM_BoundAccumulatorSweep(benchmark::State &state)
+{
+    const auto &ds = deep();
+    const auto &vs = *ds.base;
+    const auto &q = ds.queries[0];
+    const unsigned w = et::keyBits(vs.type());
+    const auto len = static_cast<unsigned>(state.range(0));
+
+    for (auto _ : state) {
+        et::BoundAccumulator acc(ds.metric(), q.data(), vs.dims(),
+                                 deepProfile().globalRange);
+        for (unsigned d = 0; d < vs.dims(); ++d) {
+            const std::uint32_t key = et::toKey(vs.type(), vs.bitsAt(0, d));
+            acc.update(d, et::intervalFromPrefix(vs.type(),
+                                                 key >> (w - len), len));
+        }
+        benchmark::DoNotOptimize(acc.lowerBound());
+    }
+    state.SetItemsProcessed(state.iterations() * ds.base->dims());
+}
+BENCHMARK(BM_BoundAccumulatorSweep)->Arg(4)->Arg(16)->Arg(32);
+
+void
+BM_TransformVector(benchmark::State &state)
+{
+    const auto &ds = deep();
+    const auto plan =
+        et::FetchPlanSpec::heuristic(ds.base->type(), ds.base->dims());
+    VectorId v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(et::transformVector(plan, *ds.base, v));
+        v = (v + 1) % static_cast<VectorId>(ds.base->size());
+    }
+}
+BENCHMARK(BM_TransformVector);
+
+void
+BM_FetchSimulate(benchmark::State &state)
+{
+    const auto &ds = deep();
+    const auto scheme = static_cast<et::EtScheme>(state.range(0));
+    const et::FetchSimulator sim(*ds.base, ds.metric(), scheme,
+                                 &deepProfile());
+    const auto &q = ds.queries[0];
+    const auto gt =
+        anns::bruteForceKnn(ds.metric(), q.data(), *ds.base, 10);
+    const double threshold = gt.back().dist;
+    VectorId v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.simulate(q.data(), v, threshold));
+        v = (v + 1) % static_cast<VectorId>(ds.base->size());
+    }
+}
+BENCHMARK(BM_FetchSimulate)
+    ->Arg(static_cast<int>(et::EtScheme::kNone))
+    ->Arg(static_cast<int>(et::EtScheme::kHeuristic))
+    ->Arg(static_cast<int>(et::EtScheme::kOpt));
+
+void
+BM_ResultSetOffer(benchmark::State &state)
+{
+    Prng rng(3);
+    for (auto _ : state) {
+        anns::ResultSet rs(10);
+        for (int i = 0; i < 256; ++i)
+            rs.offer({rng.uniform(), static_cast<VectorId>(i)});
+        benchmark::DoNotOptimize(rs.worst());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ResultSetOffer);
+
+} // namespace
+
+BENCHMARK_MAIN();

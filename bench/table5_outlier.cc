@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Table 5: impact of the allowed outlier fraction in common-prefix
+ * elimination, on SPACEV at k = 10.
+ *
+ * For each fraction we report (a) with backup re-check (the lossless
+ * default): speedup over the no-elimination design (NDP-ET+Dual),
+ * space saved, extra backup space, extra backup accesses; and (b) the
+ * accuracy loss if the backup copies are dropped and the conservative
+ * recovered values are used as final distances.
+ *
+ * Shapes to reproduce: a small outlier budget (0.1%) lengthens the
+ * prefix and improves both space and speed; an aggressive budget
+ * (20%) backfires through backup traffic, and dropping the backups
+ * at that point costs a lot of recall.
+ */
+
+#include "anns/bruteforce.h"
+#include "bench_util.h"
+#include "et/fetchsim.h"
+
+namespace {
+
+using namespace ansmet;
+
+/**
+ * Recall@10 when outlier vectors' distances are the conservative
+ * recovered estimates (no backup re-check) — the Table 5(b) number.
+ */
+double
+lossyRecall(const core::ExperimentContext &ctx, const et::EtProfile &prof)
+{
+    const auto &ds = ctx.dataset();
+    const auto &vs = *ds.base;
+    const et::FetchSimulator sim(vs, ds.metric(), et::EtScheme::kOpt,
+                                 &prof);
+    const auto &gt = ctx.groundTruth();
+
+    double total = 0.0;
+    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+        anns::ResultSet rs(10);
+        for (VectorId v = 0; v < static_cast<VectorId>(vs.size()); ++v) {
+            const auto r = sim.simulate(
+                ds.queries[q].data(), v,
+                std::numeric_limits<double>::infinity());
+            // Outlier vectors keep only their estimate; normal vectors
+            // reconstruct exactly.
+            rs.offer({r.estimate, v});
+        }
+        total += anns::recallAtK(rs.topIds(10), gt[q], 10);
+    }
+    return total / static_cast<double>(ds.queries.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ansmet::bench;
+
+    banner("Table 5: outlier-aware common prefix elimination (SPACEV)",
+           "Section 7.3, Table 5");
+
+    const auto &ctx = context(anns::DatasetId::kSpacev);
+    const auto &ds = ctx.dataset();
+
+    // Baseline: dual-granularity without prefix elimination.
+    const double base_qps =
+        ctx.runDesign(core::Design::kNdpEtDual).qps();
+    const double exact_recall = ctx.recall();
+
+    ansmet::TextTable t({"Outlier%", "PrefixBits", "Speedup(a)",
+                         "SavedSpace(a)", "ExtraSpace(a)",
+                         "ExtraAccesses(a)", "AccLoss(b)"});
+
+    for (const double frac : {0.0, 0.0001, 0.001, 0.01, 0.20}) {
+        et::ProfileConfig pcfg = ctx.config().profile;
+        pcfg.outlierFrac = frac;
+        const auto prof =
+            et::buildProfile(*ds.base, ds.metric(), pcfg);
+
+        core::SystemConfig cfg = ctx.systemConfig(core::Design::kNdpEtOpt);
+        core::SystemModel model(cfg, *ds.base, ds.metric(), &prof,
+                                ctx.hotVectors());
+        const auto rs = model.run(ctx.traces());
+        const auto tot = rs.totals();
+
+        const et::PrefixElimination pe(prof.commonPrefix, *ds.base);
+        const double total_lines = static_cast<double>(
+            tot.linesEffectual + tot.linesIneffectual);
+        const double extra_acc =
+            total_lines > 0
+                ? static_cast<double>(tot.backupLines) / total_lines
+                : 0.0;
+
+        const double lossy = lossyRecall(ctx, prof);
+        const double acc_loss =
+            exact_recall > 0 ? (exact_recall - lossy) / exact_recall : 0.0;
+
+        t.row()
+            .cellPct(frac, 2)
+            .cell(std::uint64_t{prof.commonPrefix.length})
+            .cellPct(rs.qps() / base_qps - 1.0)
+            .cellPct(pe.spaceSavedFraction())
+            .cellPct(pe.extraSpaceFraction())
+            .cellPct(extra_acc)
+            .cellPct(acc_loss);
+    }
+    t.print();
+
+    std::printf("\nPaper shape check: a ~0.1%% budget lengthens the prefix\n"
+                "for more savings at negligible backup overhead; a 20%%\n"
+                "budget floods the run with backup accesses, and without\n"
+                "backups its accuracy collapses (paper: -34.7%% at 0.1%%\n"
+                "no-backup, -76.5%% at 20%%).\n");
+    return 0;
+}

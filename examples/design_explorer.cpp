@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Hardware design-space explorer.
+ *
+ * Given a workload shape (dataset profile + recall target), sweep the
+ * two main ANSMET provisioning knobs — number of NDP units and hybrid
+ * partitioning sub-vector size — and print a recommendation. This is
+ * the kind of study an architect would run before taping out a DIMM
+ * buffer chip, built entirely on the public library API.
+ *
+ * Run: ./build/examples/design_explorer [dataset]
+ *   dataset in {sift, bigann, spacev, deep, glove, txt2img, gist}
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.h"
+
+namespace {
+
+ansmet::anns::DatasetId
+parseDataset(int argc, char **argv)
+{
+    using ansmet::anns::DatasetId;
+    if (argc < 2)
+        return DatasetId::kDeep;
+    const std::string s = argv[1];
+    for (const auto id : ansmet::anns::allDatasets()) {
+        std::string name = ansmet::anns::datasetSpec(id).name;
+        for (auto &c : name)
+            c = static_cast<char>(std::tolower(c));
+        if (s == name)
+            return id;
+    }
+    std::fprintf(stderr, "unknown dataset '%s', using deep\n", argv[1]);
+    return DatasetId::kDeep;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ansmet;
+
+    const auto id = parseDataset(argc, argv);
+
+    core::ExperimentConfig cfg;
+    cfg.dataset = id;
+    cfg.numVectors = id == anns::DatasetId::kGist ? 3000 : 6000;
+    cfg.numQueries = 24;
+    cfg.hnsw.efConstruction = 100;
+    const core::ExperimentContext ctx(cfg);
+
+    std::printf("== ANSMET design explorer: %s ==\n",
+                anns::datasetSpec(id).name.c_str());
+    std::printf("workload: %zu vectors x %u dims (%s), recall@%zu = %.3f\n\n",
+                ctx.dataset().base->size(), ctx.dataset().dims(),
+                anns::scalarName(ctx.dataset().base->type()),
+                ctx.config().k, ctx.recall());
+
+    // Sweep 1: NDP unit count (rank-level parallelism vs cost).
+    std::printf("NDP unit scaling (NDP-ETOpt, hybrid 1kB):\n");
+    std::printf("  %6s %10s %14s\n", "units", "QPS", "QPS/unit");
+    double best_qps = 0.0;
+    unsigned best_units = 8;
+    for (const unsigned units : {8u, 16u, 32u, 64u}) {
+        core::SystemConfig sc = ctx.systemConfig(core::Design::kNdpEtOpt);
+        sc.ndpUnits = units;
+        const double qps = ctx.runDesign(sc).qps();
+        std::printf("  %6u %10.0f %14.1f\n", units, qps, qps / units);
+        if (qps > best_qps * 1.10) { // require >10% gain to scale up
+            best_qps = qps;
+            best_units = units;
+        }
+    }
+
+    // Sweep 2: sub-vector size at the chosen unit count.
+    std::printf("\npartitioning sweep at %u units:\n", best_units);
+    std::printf("  %12s %10s %12s\n", "sub-vector", "QPS", "imbalance");
+    unsigned best_s = 1024;
+    double best_s_qps = 0.0;
+    for (const unsigned s : {64u, 256u, 512u, 1024u, 2048u, ~0u}) {
+        core::SystemConfig sc = ctx.systemConfig(core::Design::kNdpEtOpt);
+        sc.ndpUnits = best_units;
+        sc.subVectorBytes = s;
+        const auto rs = ctx.runDesign(sc);
+        std::printf("  %12s %10.0f %12.2f\n",
+                    s == ~0u ? "horizontal"
+                             : (std::to_string(s) + "B").c_str(),
+                    rs.qps(), rs.loadImbalance);
+        if (rs.qps() > best_s_qps) {
+            best_s_qps = rs.qps();
+            best_s = s;
+        }
+    }
+
+    const double cpu = ctx.runDesign(core::Design::kCpuBase).qps();
+    std::printf("\nrecommendation: %u NDP units, %s sub-vectors "
+                "-> %.2fx over the CPU baseline\n",
+                best_units,
+                best_s == ~0u ? "whole-vector (horizontal)"
+                              : (std::to_string(best_s) + " B").c_str(),
+                best_s_qps / cpu);
+    return 0;
+}

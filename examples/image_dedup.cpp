@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Near-duplicate image detection with an IVF index.
+ *
+ * A photo service wants to flag uploads that are near-duplicates of
+ * existing images, using SIFT-like local descriptors under L2. This
+ * exercises the cluster-based index path (the paper's Figure 1 uses
+ * IVF alongside HNSW) and shows the trace/timing pipeline on IVF,
+ * including how many cluster-scan comparisons early termination can
+ * reject.
+ *
+ * Run: ./build/examples/image_dedup
+ */
+
+#include <cstdio>
+
+#include "anns/bruteforce.h"
+#include "anns/dataset.h"
+#include "anns/ivf.h"
+#include "core/system.h"
+#include "core/trace.h"
+#include "et/profile.h"
+
+int
+main()
+{
+    using namespace ansmet;
+
+    std::printf("== near-duplicate detection (IVF, L2) ==\n\n");
+
+    const auto ds = anns::makeDataset(anns::DatasetId::kSift, 6000, 32, 9);
+    const anns::IvfIndex index(*ds.base, ds.metric(), anns::IvfParams{});
+    std::printf("indexed %zu descriptors into %u clusters\n",
+                ds.base->size(), index.numClusters());
+
+    // Choose nprobe for >=90% recall (dedup wants high confidence).
+    const auto gt = anns::bruteForceAll(ds.metric(), ds.queries,
+                                        *ds.base, 10);
+    unsigned nprobe = 1;
+    double recall = 0.0;
+    for (; nprobe <= index.numClusters(); nprobe *= 2) {
+        double total = 0.0;
+        for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+            total += anns::recallAtK(
+                index.search(ds.queries[q].data(), 10, nprobe), gt[q], 10);
+        }
+        recall = total / static_cast<double>(ds.queries.size());
+        if (recall >= 0.90)
+            break;
+    }
+    std::printf("nprobe=%u -> recall@10 = %.3f\n\n", nprobe, recall);
+
+    // Flag near-duplicates: anything whose nearest neighbor is within
+    // a small distance budget of the query upload.
+    std::size_t flagged = 0;
+    for (const auto &q : ds.queries) {
+        const auto nn = index.search(q.data(), 1, nprobe);
+        if (!nn.empty()) {
+            const double d =
+                anns::distance(ds.metric(), q.data(), *ds.base, nn[0]);
+            // Budget: tighter than the typical 10-NN distance.
+            if (d < gt[0].back().dist * 0.5)
+                ++flagged;
+        }
+    }
+    std::printf("flagged %zu of %zu uploads as near-duplicates\n\n",
+                flagged, ds.queries.size());
+
+    // Timing on the ANSMET hardware: trace the IVF queries and replay.
+    et::ProfileConfig pcfg;
+    const auto prof = et::buildProfile(*ds.base, ds.metric(), pcfg);
+    std::vector<core::QueryTrace> traces;
+    for (const auto &q : ds.queries)
+        traces.push_back(core::traceIvfQuery(index, q, 10, nprobe));
+
+    std::size_t comps = 0, accepted = 0;
+    for (const auto &t : traces) {
+        comps += t.numComparisons();
+        accepted += t.numAccepted();
+    }
+    std::printf("IVF scans %.0f vectors per query; %.1f%% are rejected\n",
+                static_cast<double>(comps) /
+                    static_cast<double>(traces.size()),
+                100.0 * (1.0 - static_cast<double>(accepted) /
+                                   static_cast<double>(comps)));
+
+    for (const auto d : {core::Design::kCpuBase, core::Design::kNdpBase,
+                         core::Design::kNdpEtOpt}) {
+        core::SystemConfig cfg;
+        cfg.design = d;
+        core::scaleCachesToDataset(
+            cfg, ds.base->size() * ds.base->vectorBytes());
+        core::SystemModel model(cfg, *ds.base, ds.metric(), &prof);
+        const auto rs = model.run(traces);
+        const auto t = rs.totals();
+        std::printf("  %-10s QPS %8.0f   early-terminated %5.1f%%\n",
+                    core::designName(d), rs.qps(),
+                    100.0 * static_cast<double>(t.terminated) /
+                        static_cast<double>(t.comparisons));
+    }
+
+    std::printf("\nCluster scans reject most candidates, which is exactly\n"
+                "where hybrid early termination saves fetches.\n");
+    return 0;
+}

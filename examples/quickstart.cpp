@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end ANSMET session.
+ *
+ * 1. Generate a SIFT-like dataset and build an HNSW index.
+ * 2. Run approximate kNN queries and check recall against brute force.
+ * 3. Run the offline ET preprocessing (threshold sampling, common
+ *    prefix, dual-granularity layout search).
+ * 4. Replay the same queries through the CPU baseline and the full
+ *    ANSMET system (NDP + hybrid early termination) and compare.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "anns/bruteforce.h"
+#include "anns/dataset.h"
+#include "anns/hnsw.h"
+#include "core/experiment.h"
+
+int
+main()
+{
+    using namespace ansmet;
+
+    std::printf("== ANSMET quickstart ==\n\n");
+
+    // 1-3. ExperimentContext bundles dataset + index + preprocessing.
+    core::ExperimentConfig cfg;
+    cfg.dataset = anns::DatasetId::kSift;
+    cfg.numVectors = 4000;
+    cfg.numQueries = 24;
+    cfg.k = 10;
+    cfg.hnsw.efConstruction = 100;
+    const core::ExperimentContext ctx(cfg);
+
+    std::printf("dataset: %s, %zu vectors x %u dims (%s), metric %s\n",
+                ctx.dataset().spec.name.c_str(), ctx.dataset().base->size(),
+                ctx.dataset().dims(),
+                anns::scalarName(ctx.dataset().base->type()),
+                anns::metricName(ctx.dataset().metric()));
+    std::printf("HNSW: efSearch tuned to %zu -> recall@10 = %.3f\n",
+                ctx.efSearch(), ctx.recall());
+
+    const auto &prof = ctx.profile();
+    std::printf("ET preprocessing: threshold %.1f, common prefix %u bits,"
+                " dual fetch (nC=%u, TC=%u, nF=%u)\n\n",
+                prof.threshold, prof.commonPrefix.length,
+                prof.dualWithPrefix.nc, prof.dualWithPrefix.tc,
+                prof.dualWithPrefix.nf);
+
+    // 4. Timing comparison.
+    std::printf("%-12s %10s %12s %10s\n", "design", "QPS", "64B fetches",
+                "early-term");
+    for (const auto d : {core::Design::kCpuBase, core::Design::kNdpBase,
+                         core::Design::kNdpEtOpt}) {
+        const core::RunStats rs = ctx.runDesign(d);
+        const auto t = rs.totals();
+        std::printf("%-12s %10.0f %12llu %9.1f%%\n", core::designName(d),
+                    rs.qps(),
+                    static_cast<unsigned long long>(
+                        t.linesEffectual + t.linesIneffectual +
+                        t.backupLines),
+                    100.0 * static_cast<double>(t.terminated) /
+                        static_cast<double>(t.comparisons));
+    }
+
+    std::printf("\nEarly termination never changes results: the search\n"
+                "path is identical across designs (lossless bounds), so\n"
+                "recall stays %.3f everywhere.\n",
+                ctx.recall());
+    return 0;
+}

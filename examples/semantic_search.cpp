@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Semantic search (RAG-style retrieval) example.
+ *
+ * Retrieval-augmented generation retrieves passages by inner-product
+ * similarity of normalized embeddings — the GloVe/Txt2Img setting of
+ * the paper. This example shows the key algorithmic point of ANSMET
+ * for IP metrics: partial-*dimension* early termination (prior work)
+ * has no sound bound, because unfetched dimensions can contribute
+ * arbitrarily negative values; partial-*bit* prefixes bound every
+ * dimension from the first fetch onward and restore the savings.
+ *
+ * Run: ./build/examples/semantic_search
+ */
+
+#include <cstdio>
+
+#include "anns/bruteforce.h"
+#include "anns/dataset.h"
+#include "anns/hnsw.h"
+#include "core/experiment.h"
+#include "et/fetchsim.h"
+
+int
+main()
+{
+    using namespace ansmet;
+
+    std::printf("== semantic passage retrieval (inner product) ==\n\n");
+
+    core::ExperimentConfig cfg;
+    cfg.dataset = anns::DatasetId::kGlove; // normalized embeddings, IP
+    cfg.numVectors = 4000;
+    cfg.numQueries = 24;
+    cfg.hnsw.efConstruction = 100;
+    const core::ExperimentContext ctx(cfg);
+    const auto &ds = ctx.dataset();
+
+    std::printf("corpus: %zu passage embeddings x %u dims, recall@10 = "
+                "%.3f at efSearch=%zu\n\n",
+                ds.base->size(), ds.dims(), ctx.recall(), ctx.efSearch());
+
+    // A single retrieval, end to end.
+    const auto &query = ds.queries[0];
+    const auto hits = ctx.index().search(query.data(), 5, ctx.efSearch());
+    std::printf("top-5 passages for query 0: ");
+    for (const VectorId id : hits)
+        std::printf("#%u ", id);
+    std::printf("\n\n");
+
+    // Why bit-level ET matters under IP: compare mean fetched lines at
+    // a converged threshold for the three relevant schemes.
+    const auto gt =
+        anns::bruteForceKnn(ds.metric(), query.data(), *ds.base, 10);
+    const double threshold = gt.back().dist;
+
+    std::printf("mean 64B fetches per comparison (query 0, converged "
+                "threshold):\n");
+    for (const auto scheme :
+         {et::EtScheme::kNone, et::EtScheme::kDimOnly,
+          et::EtScheme::kOpt}) {
+        const et::FetchSimulator sim(*ds.base, ds.metric(), scheme,
+                                     &ctx.profile());
+        double lines = 0;
+        const unsigned probe = 1000;
+        for (VectorId v = 0; v < probe; ++v)
+            lines += sim.simulate(query.data(), v, threshold).totalLines();
+        std::printf("  %-8s %.2f lines\n", et::schemeName(scheme),
+                    lines / probe);
+    }
+
+    std::printf("\nfull-system effect (QPS):\n");
+    for (const auto d :
+         {core::Design::kNdpBase, core::Design::kNdpDimEt,
+          core::Design::kNdpEtOpt}) {
+        std::printf("  %-10s %.0f\n", core::designName(d),
+                    ctx.runDesign(d).qps());
+    }
+
+    std::printf("\nDimET == Base on IP data (no stable bound, Section 7.1);"
+                "\nhybrid partial-bit ET recovers the savings.\n");
+    return 0;
+}

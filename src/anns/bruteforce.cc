@@ -1,0 +1,63 @@
+#include "anns/bruteforce.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ansmet::anns {
+
+std::vector<Neighbor>
+bruteForceKnn(Metric m, const float *query, const VectorSet &vs,
+              std::size_t k)
+{
+    ResultSet rs(k);
+    const std::size_t n = vs.size();
+    for (std::size_t v = 0; v < n; ++v) {
+        const auto id = static_cast<VectorId>(v);
+        rs.offer({distance(m, query, vs, id), id});
+    }
+    return rs.sorted();
+}
+
+std::vector<std::vector<Neighbor>>
+bruteForceAll(Metric m, const std::vector<std::vector<float>> &queries,
+              const VectorSet &vs, std::size_t k)
+{
+    std::vector<std::vector<Neighbor>> out;
+    out.reserve(queries.size());
+    for (const auto &q : queries)
+        out.push_back(bruteForceKnn(m, q.data(), vs, k));
+    return out;
+}
+
+double
+recallAtK(const std::vector<VectorId> &result,
+          const std::vector<Neighbor> &ground_truth, std::size_t k)
+{
+    ANSMET_ASSERT(!ground_truth.empty());
+    const std::size_t kk = std::min(k, ground_truth.size());
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < kk; ++i) {
+        const VectorId want = ground_truth[i].id;
+        for (std::size_t j = 0; j < result.size() && j < k; ++j) {
+            if (result[j] == want) {
+                ++hits;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(kk);
+}
+
+double
+meanRecall(const std::vector<std::vector<VectorId>> &results,
+           const std::vector<std::vector<Neighbor>> &gt, std::size_t k)
+{
+    ANSMET_ASSERT(results.size() == gt.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < results.size(); ++i)
+        acc += recallAtK(results[i], gt[i], k);
+    return results.empty() ? 0.0 : acc / static_cast<double>(results.size());
+}
+
+} // namespace ansmet::anns

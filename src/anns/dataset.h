@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synthetic dataset generators standing in for the paper's seven
+ * billion-scale benchmarks (Table 2).
+ *
+ * Each generator reproduces the *distributional fingerprint* that the
+ * ANSMET techniques are sensitive to — element type, dimensionality,
+ * metric, clustered structure, and (critically for early termination)
+ * the per-element bit-prefix entropy profile:
+ *
+ *  - SIFT / BigANN : 128-dim UINT8 gradient-histogram-like (skewed
+ *    toward small magnitudes, full 8-bit range) — L2;
+ *  - SPACEV        : 100-dim INT8 roughly zero-centered — L2;
+ *  - DEEP          : 96-dim FP32, mostly-positive unit-normalized CNN
+ *    features whose exponents concentrate (low-entropy high bits) — L2;
+ *  - GloVe         : 100-dim FP32 signed word embeddings, normalized
+ *    offline so IP == cosine — IP;
+ *  - Txt2Img       : 200-dim FP32 signed cross-modal embeddings — IP;
+ *  - GIST          : 960-dim FP32 in [0,1) with small magnitudes
+ *    (strong common prefixes) — L2.
+ *
+ * Vector counts are scaled down (default 20k / 8k for GIST) so a full
+ * experiment sweep finishes on one machine; see DESIGN.md section 2.
+ */
+
+#ifndef ANSMET_ANNS_DATASET_H
+#define ANSMET_ANNS_DATASET_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anns/distance.h"
+#include "anns/vector.h"
+#include "common/prng.h"
+
+namespace ansmet::anns {
+
+/** Identifiers for the seven paper datasets. */
+enum class DatasetId
+{
+    kSift,
+    kBigann,
+    kSpacev,
+    kDeep,
+    kGlove,
+    kTxt2img,
+    kGist,
+};
+
+/** All seven, in the paper's Table 2 order. */
+std::vector<DatasetId> allDatasets();
+
+/** Static description of a dataset profile. */
+struct DatasetSpec
+{
+    DatasetId id;
+    std::string name;
+    Metric metric;
+    ScalarType type;
+    unsigned dims;
+    std::size_t defaultVectors;
+    std::size_t defaultQueries;
+};
+
+const DatasetSpec &datasetSpec(DatasetId id);
+
+/** A generated dataset: base vectors plus float query vectors. */
+struct Dataset
+{
+    DatasetSpec spec;
+    std::unique_ptr<VectorSet> base;
+    std::vector<std::vector<float>> queries;
+
+    unsigned dims() const { return spec.dims; }
+    Metric metric() const { return spec.metric; }
+};
+
+/**
+ * Generate a dataset.
+ * @param n number of base vectors (0 = spec default)
+ * @param q number of queries (0 = spec default)
+ * @param seed PRNG seed; the same (id, n, q, seed) always yields the
+ *        same data.
+ * @param zipf_alpha if > 1, queries are drawn centered on base vectors
+ *        chosen by a zipf distribution (skewed load, Section 5.3);
+ *        otherwise uniformly.
+ */
+Dataset makeDataset(DatasetId id, std::size_t n = 0, std::size_t q = 0,
+                    std::uint64_t seed = 1, double zipf_alpha = 0.0);
+
+} // namespace ansmet::anns
+
+#endif // ANSMET_ANNS_DATASET_H

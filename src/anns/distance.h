@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Distance metrics (Section 2.1 of the paper).
+ *
+ * L2 distances are kept as *squared* Euclidean distances throughout:
+ * the square root is monotone, so comparisons and thresholds are
+ * unaffected, and this matches what both FAISS and the NDP hardware
+ * compute. Inner-product "distance" is the negated dot product, so
+ * smaller is always better for every metric. Cosine reduces to IP
+ * after offline normalization (as the paper notes) and is provided as
+ * an alias plus a normalization helper.
+ */
+
+#ifndef ANSMET_ANNS_DISTANCE_H
+#define ANSMET_ANNS_DISTANCE_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "anns/vector.h"
+
+namespace ansmet::anns {
+
+enum class Metric : std::uint8_t { kL2, kIp, kCosine };
+
+const char *metricName(Metric m);
+
+/** Squared L2 distance between a float query and a stored vector. */
+inline double
+l2Sq(const float *q, const VectorSet &vs, VectorId v)
+{
+    const unsigned d = vs.dims();
+    const std::uint8_t *raw = vs.raw(v);
+    double acc = 0.0;
+    // Typed inner loops so the compiler can vectorize; vs.at() would
+    // re-dispatch on the scalar type per element.
+    switch (vs.type()) {
+      case ScalarType::kUint8:
+        for (unsigned i = 0; i < d; ++i) {
+            const double diff =
+                static_cast<double>(q[i]) - static_cast<double>(raw[i]);
+            acc += diff * diff;
+        }
+        break;
+      case ScalarType::kInt8: {
+        const auto *p = reinterpret_cast<const std::int8_t *>(raw);
+        for (unsigned i = 0; i < d; ++i) {
+            const double diff =
+                static_cast<double>(q[i]) - static_cast<double>(p[i]);
+            acc += diff * diff;
+        }
+        break;
+      }
+      case ScalarType::kFp16:
+        for (unsigned i = 0; i < d; ++i) {
+            const double diff = static_cast<double>(q[i]) - vs.at(v, i);
+            acc += diff * diff;
+        }
+        break;
+      case ScalarType::kFp32: {
+        // Double-precision differences so the ET lower bounds (which
+        // operate on doubles) are *provably* never above this value.
+        float f;
+        for (unsigned i = 0; i < d; ++i) {
+            std::memcpy(&f, raw + i * 4, 4);
+            const double diff =
+                static_cast<double>(q[i]) - static_cast<double>(f);
+            acc += diff * diff;
+        }
+        break;
+      }
+    }
+    return acc;
+}
+
+/** Negated inner product (smaller = more similar). */
+inline double
+negIp(const float *q, const VectorSet &vs, VectorId v)
+{
+    const unsigned d = vs.dims();
+    const std::uint8_t *raw = vs.raw(v);
+    double acc = 0.0;
+    switch (vs.type()) {
+      case ScalarType::kUint8:
+        for (unsigned i = 0; i < d; ++i)
+            acc += static_cast<double>(q[i]) * static_cast<float>(raw[i]);
+        break;
+      case ScalarType::kInt8: {
+        const auto *p = reinterpret_cast<const std::int8_t *>(raw);
+        for (unsigned i = 0; i < d; ++i)
+            acc += static_cast<double>(q[i]) * static_cast<float>(p[i]);
+        break;
+      }
+      case ScalarType::kFp16:
+        for (unsigned i = 0; i < d; ++i)
+            acc += static_cast<double>(q[i]) * vs.at(v, i);
+        break;
+      case ScalarType::kFp32: {
+        float f;
+        for (unsigned i = 0; i < d; ++i) {
+            std::memcpy(&f, raw + i * 4, 4);
+            acc += static_cast<double>(q[i]) * f;
+        }
+        break;
+      }
+    }
+    return -acc;
+}
+
+/** Distance under @p m; kCosine assumes pre-normalized data. */
+inline double
+distance(Metric m, const float *q, const VectorSet &vs, VectorId v)
+{
+    switch (m) {
+      case Metric::kL2:
+        return l2Sq(q, vs, v);
+      case Metric::kIp:
+      case Metric::kCosine:
+        return negIp(q, vs, v);
+    }
+    return 0.0;
+}
+
+/** Squared L2 between two float buffers. */
+inline double
+l2Sq(const float *a, const float *b, unsigned d)
+{
+    double acc = 0.0;
+    for (unsigned i = 0; i < d; ++i) {
+        const double diff = static_cast<double>(a[i]) - b[i];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+inline double
+negIp(const float *a, const float *b, unsigned d)
+{
+    double acc = 0.0;
+    for (unsigned i = 0; i < d; ++i)
+        acc += static_cast<double>(a[i]) * b[i];
+    return -acc;
+}
+
+inline double
+distance(Metric m, const float *a, const float *b, unsigned d)
+{
+    return m == Metric::kL2 ? l2Sq(a, b, d) : negIp(a, b, d);
+}
+
+/** Scale @p v (length d) to unit L2 norm in place; zero stays zero. */
+inline void
+normalizeL2(float *v, unsigned d)
+{
+    double n = 0.0;
+    for (unsigned i = 0; i < d; ++i)
+        n += static_cast<double>(v[i]) * v[i];
+    if (n <= 0.0)
+        return;
+    const float inv = static_cast<float>(1.0 / std::sqrt(n));
+    for (unsigned i = 0; i < d; ++i)
+        v[i] *= inv;
+}
+
+} // namespace ansmet::anns
+
+#endif // ANSMET_ANNS_DISTANCE_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Heaps used by ANNS search: a bounded max-heap result set (keeps the
+ * k' best candidates and exposes the current distance threshold) and
+ * an unbounded min-heap search set, matching the HNSW description in
+ * Section 2.1 of the paper.
+ */
+
+#ifndef ANSMET_ANNS_HEAP_H
+#define ANSMET_ANNS_HEAP_H
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace ansmet::anns {
+
+/** (distance, id) candidate pair. */
+struct Neighbor
+{
+    double dist;
+    VectorId id;
+
+    bool operator<(const Neighbor &o) const { return dist < o.dist; }
+    bool operator>(const Neighbor &o) const { return dist > o.dist; }
+};
+
+/**
+ * Bounded max-heap keeping the @p capacity nearest candidates seen so
+ * far. worst() is the current early-termination threshold.
+ */
+class ResultSet
+{
+  public:
+    explicit ResultSet(std::size_t capacity) : capacity_(capacity)
+    {
+        ANSMET_ASSERT(capacity > 0);
+        heap_.reserve(capacity);
+    }
+
+    /** The distance a new candidate must beat; +inf until full. */
+    double
+    worst() const
+    {
+        return full() ? heap_.front().dist
+                      : std::numeric_limits<double>::infinity();
+    }
+
+    bool full() const { return heap_.size() >= capacity_; }
+    std::size_t size() const { return heap_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Offer a candidate.
+     * @return true if it was kept (better than worst, or not yet full).
+     */
+    bool
+    offer(Neighbor n)
+    {
+        if (!full()) {
+            heap_.push_back(n);
+            std::push_heap(heap_.begin(), heap_.end());
+            return true;
+        }
+        if (n.dist >= heap_.front().dist)
+            return false;
+        std::pop_heap(heap_.begin(), heap_.end());
+        heap_.back() = n;
+        std::push_heap(heap_.begin(), heap_.end());
+        return true;
+    }
+
+    /** Contents sorted ascending by distance. */
+    std::vector<Neighbor>
+    sorted() const
+    {
+        std::vector<Neighbor> out(heap_);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    /** The @p k nearest ids, ascending by distance. */
+    std::vector<VectorId>
+    topIds(std::size_t k) const
+    {
+        auto s = sorted();
+        if (s.size() > k)
+            s.resize(k);
+        std::vector<VectorId> ids;
+        ids.reserve(s.size());
+        for (const auto &n : s)
+            ids.push_back(n.id);
+        return ids;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::vector<Neighbor> heap_; // max-heap by dist
+};
+
+/** Unbounded min-heap of candidates to expand. */
+class SearchSet
+{
+  public:
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    void
+    push(Neighbor n)
+    {
+        heap_.push_back(n);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    }
+
+    Neighbor
+    pop()
+    {
+        ANSMET_ASSERT(!heap_.empty());
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        Neighbor n = heap_.back();
+        heap_.pop_back();
+        return n;
+    }
+
+    const Neighbor &top() const { return heap_.front(); }
+
+  private:
+    std::vector<Neighbor> heap_; // min-heap by dist
+};
+
+} // namespace ansmet::anns
+
+#endif // ANSMET_ANNS_HEAP_H

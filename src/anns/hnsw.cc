@@ -1,0 +1,320 @@
+#include "anns/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace ansmet::anns {
+
+SearchObserver &
+nullObserver()
+{
+    static SearchObserver obs;
+    return obs;
+}
+
+HnswIndex::HnswIndex(const VectorSet &vs, Metric m, HnswParams params)
+    : vs_(vs), metric_(m), params_(params),
+      level_mult_(1.0 / std::log(static_cast<double>(params.m))),
+      nodes_(vs.size()),
+      visit_tag_(vs.size(), 0)
+{
+    ANSMET_ASSERT(vs.size() > 0, "empty vector set");
+    Prng rng(params_.seed);
+    for (std::size_t v = 0; v < vs_.size(); ++v)
+        insert(static_cast<VectorId>(v), rng);
+}
+
+unsigned
+HnswIndex::randomLevel(Prng &rng) const
+{
+    double u = rng.uniform();
+    if (u < 1e-12)
+        u = 1e-12;
+    const double level = -std::log(u) * level_mult_;
+    return static_cast<unsigned>(std::min(level, 31.0));
+}
+
+const std::vector<VectorId> &
+HnswIndex::neighbors(VectorId v, unsigned level) const
+{
+    ANSMET_ASSERT(v < nodes_.size() && level < nodes_[v].links.size());
+    return nodes_[v].links[level];
+}
+
+std::vector<VectorId>
+HnswIndex::verticesAtLevel(unsigned level) const
+{
+    std::vector<VectorId> out;
+    for (std::size_t v = 0; v < nodes_.size(); ++v)
+        if (nodes_[v].links.size() > level)
+            out.push_back(static_cast<VectorId>(v));
+    return out;
+}
+
+std::size_t
+HnswIndex::graphBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &n : nodes_)
+        for (const auto &l : n.links)
+            bytes += l.size() * sizeof(VectorId) + sizeof(std::uint32_t);
+    return bytes;
+}
+
+std::vector<Neighbor>
+HnswIndex::searchLayer(const float *q, Neighbor entry, std::size_t ef,
+                       unsigned level, SearchObserver *obs) const
+{
+    ++visit_epoch_;
+    visit_tag_[entry.id] = visit_epoch_;
+
+    SearchSet candidates;
+    candidates.push(entry);
+    ResultSet results(ef);
+    results.offer(entry);
+
+    while (!candidates.empty()) {
+        const Neighbor cur = candidates.pop();
+        if (cur.dist > results.worst())
+            break;
+
+        const auto &links = nodes_[cur.id].links[level];
+        if (obs) {
+            obs->beginStep(level == 0 ? StepKind::kBaseBeam
+                                      : StepKind::kUpperGreedy,
+                           links.size() * sizeof(VectorId), cur.id);
+            obs->onHeapOps(1); // the pop above
+        }
+
+        // The threshold in force when this batch is offloaded: the
+        // NDP units reject any neighbor at or beyond it.
+        const double batch_threshold = results.worst();
+
+        for (const VectorId nb : links) {
+            if (visit_tag_[nb] == visit_epoch_)
+                continue;
+            visit_tag_[nb] = visit_epoch_;
+
+            const double d = dist(q, nb);
+            const bool accepted = d < batch_threshold;
+            if (obs)
+                obs->onCompare(nb, batch_threshold, d, accepted);
+
+            if (accepted || !results.full()) {
+                candidates.push({d, nb});
+                results.offer({d, nb});
+                if (obs)
+                    obs->onHeapOps(2);
+            }
+        }
+    }
+    return results.sorted();
+}
+
+std::vector<VectorId>
+HnswIndex::selectNeighbors(const float *q, std::vector<Neighbor> candidates,
+                           unsigned m_target) const
+{
+    (void)q;
+    std::sort(candidates.begin(), candidates.end());
+    std::vector<VectorId> selected;
+    std::vector<Neighbor> discarded;
+
+    // Algorithm 4: keep a candidate only if it is closer to the query
+    // than to every already-selected neighbor (diversity pruning).
+    for (const Neighbor &c : candidates) {
+        if (selected.size() >= m_target)
+            break;
+        bool keep = true;
+        std::vector<float> cbuf = vs_.toFloat(c.id);
+        for (const VectorId s : selected) {
+            if (distance(metric_, cbuf.data(), vs_, s) < c.dist) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep)
+            selected.push_back(c.id);
+        else
+            discarded.push_back(c);
+    }
+
+    // keepPrunedConnections: fill up with the best discarded ones.
+    for (const Neighbor &c : discarded) {
+        if (selected.size() >= m_target)
+            break;
+        selected.push_back(c.id);
+    }
+    return selected;
+}
+
+void
+HnswIndex::connect(VectorId from, VectorId to, unsigned level)
+{
+    nodes_[from].links[level].push_back(to);
+}
+
+void
+HnswIndex::shrink(VectorId v, unsigned level)
+{
+    auto &links = nodes_[v].links[level];
+    const unsigned cap = params_.maxDegree(level);
+    if (links.size() <= cap)
+        return;
+
+    std::vector<float> vbuf = vs_.toFloat(v);
+    std::vector<Neighbor> cands;
+    cands.reserve(links.size());
+    for (const VectorId nb : links)
+        cands.push_back({distance(metric_, vbuf.data(), vs_, nb), nb});
+    links = selectNeighbors(vbuf.data(), std::move(cands), cap);
+}
+
+void
+HnswIndex::insert(VectorId v, Prng &rng)
+{
+    const unsigned level = randomLevel(rng);
+    nodes_[v].links.resize(level + 1);
+
+    if (entry_ == kInvalidVector) {
+        entry_ = v;
+        max_level_ = level;
+        return;
+    }
+
+    std::vector<float> q = vs_.toFloat(v);
+    Neighbor ep{dist(q.data(), entry_), entry_};
+
+    // Greedy descent through layers above the insertion level.
+    for (unsigned l = max_level_; l > level && l > 0; --l) {
+        const auto found = searchLayer(q.data(), ep, 1, l, nullptr);
+        ep = found.front();
+    }
+
+    // Insert at each layer from min(level, max_level_) down to 0.
+    for (int l = static_cast<int>(std::min(level, max_level_)); l >= 0;
+         --l) {
+        const auto lu = static_cast<unsigned>(l);
+        auto found =
+            searchLayer(q.data(), ep, params_.efConstruction, lu, nullptr);
+        ep = found.front();
+
+        const auto selected =
+            selectNeighbors(q.data(), found, params_.m);
+        for (const VectorId nb : selected) {
+            connect(v, nb, lu);
+            connect(nb, v, lu);
+            shrink(nb, lu);
+        }
+    }
+
+    if (level > max_level_) {
+        max_level_ = level;
+        entry_ = v;
+    }
+}
+
+namespace {
+
+constexpr std::uint32_t kGraphMagic = 0x414e5347; // "ANSG"
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return v;
+}
+
+} // namespace
+
+HnswIndex::HnswIndex(LoadTag, const VectorSet &vs, Metric m,
+                     HnswParams params)
+    : vs_(vs), metric_(m), params_(params),
+      level_mult_(1.0 / std::log(static_cast<double>(params.m))),
+      nodes_(vs.size()),
+      visit_tag_(vs.size(), 0)
+{
+}
+
+void
+HnswIndex::save(std::ostream &os) const
+{
+    writePod(os, kGraphMagic);
+    writePod(os, static_cast<std::uint64_t>(nodes_.size()));
+    writePod(os, entry_);
+    writePod(os, max_level_);
+    for (const auto &n : nodes_) {
+        writePod(os, static_cast<std::uint32_t>(n.links.size()));
+        for (const auto &l : n.links) {
+            writePod(os, static_cast<std::uint32_t>(l.size()));
+            os.write(reinterpret_cast<const char *>(l.data()),
+                     static_cast<std::streamsize>(l.size() *
+                                                  sizeof(VectorId)));
+        }
+    }
+}
+
+HnswIndex
+HnswIndex::load(std::istream &is, const VectorSet &vs, Metric m,
+                HnswParams params)
+{
+    HnswIndex idx(LoadTag{}, vs, m, params);
+    ANSMET_ASSERT(readPod<std::uint32_t>(is) == kGraphMagic,
+                  "bad HNSW graph file");
+    const auto n = readPod<std::uint64_t>(is);
+    ANSMET_ASSERT(n == vs.size(), "graph/vector-set size mismatch");
+    idx.entry_ = readPod<VectorId>(is);
+    idx.max_level_ = readPod<unsigned>(is);
+    for (auto &node : idx.nodes_) {
+        const auto levels = readPod<std::uint32_t>(is);
+        node.links.resize(levels);
+        for (auto &l : node.links) {
+            const auto deg = readPod<std::uint32_t>(is);
+            l.resize(deg);
+            is.read(reinterpret_cast<char *>(l.data()),
+                    static_cast<std::streamsize>(deg * sizeof(VectorId)));
+        }
+    }
+    ANSMET_ASSERT(is.good(), "truncated HNSW graph file");
+    return idx;
+}
+
+std::vector<VectorId>
+HnswIndex::search(const float *query, std::size_t k, std::size_t ef,
+                  SearchObserver &obs) const
+{
+    ANSMET_ASSERT(ef >= k, "efSearch must be >= k");
+
+    Neighbor ep{dist(query, entry_), entry_};
+    obs.beginStep(StepKind::kUpperGreedy, sizeof(VectorId), entry_);
+    obs.onCompare(ep.id, std::numeric_limits<double>::infinity(), ep.dist,
+                  true);
+
+    for (unsigned l = max_level_; l > 0; --l) {
+        const auto found = searchLayer(query, ep, 1, l, &obs);
+        ep = found.front();
+    }
+
+    const auto found = searchLayer(query, ep, ef, 0, &obs);
+    std::vector<VectorId> out;
+    out.reserve(std::min(k, found.size()));
+    for (std::size_t i = 0; i < found.size() && i < k; ++i)
+        out.push_back(found[i].id);
+    return out;
+}
+
+} // namespace ansmet::anns

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Inverted-file (IVF) cluster index, the paper's representative
+ * cluster-based index (Figure 1, Section 2.1).
+ *
+ * Build: k-means (Lloyd) over the base vectors. Search: rank all
+ * centroids, scan the nprobe closest clusters, keeping a bounded
+ * result heap. All comparisons are reported through SearchObserver.
+ */
+
+#ifndef ANSMET_ANNS_IVF_H
+#define ANSMET_ANNS_IVF_H
+
+#include <cstdint>
+#include <vector>
+
+#include "anns/distance.h"
+#include "anns/heap.h"
+#include "anns/observer.h"
+#include "anns/vector.h"
+#include "common/prng.h"
+
+namespace ansmet::anns {
+
+/** IVF construction parameters. */
+struct IvfParams
+{
+    unsigned numClusters = 0;  //!< 0 = sqrt(N) rounded up
+    unsigned kmeansIters = 10;
+    std::uint64_t seed = 42;
+};
+
+/** Cluster index over an externally owned VectorSet. */
+class IvfIndex
+{
+  public:
+    IvfIndex(const VectorSet &vs, Metric m, IvfParams params = {});
+
+    /**
+     * Approximate kNN search scanning the @p nprobe nearest clusters.
+     * @return up to k ids ascending by distance
+     */
+    std::vector<VectorId> search(const float *query, std::size_t k,
+                                 unsigned nprobe,
+                                 SearchObserver &obs = nullObserver()) const;
+
+    unsigned numClusters() const
+    {
+        return static_cast<unsigned>(lists_.size());
+    }
+
+    /** Centroid @p c as floats. */
+    const std::vector<float> &centroid(unsigned c) const
+    {
+        return centroids_[c];
+    }
+
+    /** Member vector ids of cluster @p c. */
+    const std::vector<VectorId> &list(unsigned c) const { return lists_[c]; }
+
+    Metric metric() const { return metric_; }
+    const VectorSet &vectors() const { return vs_; }
+
+  private:
+    void kmeans(const IvfParams &params);
+
+    const VectorSet &vs_;
+    Metric metric_;
+    std::vector<std::vector<float>> centroids_;
+    std::vector<std::vector<VectorId>> lists_;
+};
+
+} // namespace ansmet::anns
+
+#endif // ANSMET_ANNS_IVF_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Instrumentation hooks for ANNS searches.
+ *
+ * The functional search (HNSW or IVF) reports every distance
+ * comparison with the threshold in force when its batch was issued.
+ * The timing layer (src/core) replays these events against a hardware
+ * model; Figure 1's breakdown and the ET fetch simulation both consume
+ * them.
+ */
+
+#ifndef ANSMET_ANNS_OBSERVER_H
+#define ANSMET_ANNS_OBSERVER_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ansmet::anns {
+
+/** Which phase of the search issued a batch of comparisons. */
+enum class StepKind : std::uint8_t
+{
+    kUpperGreedy,  //!< HNSW upper-layer greedy descent
+    kBaseBeam,     //!< HNSW base-layer beam search
+    kCentroidScan, //!< IVF centroid ranking
+    kClusterScan,  //!< IVF posting-list scan
+};
+
+/** Search instrumentation callback interface. All hooks default to no-ops. */
+class SearchObserver
+{
+  public:
+    virtual ~SearchObserver() = default;
+
+    /**
+     * A new batch of comparisons begins (one popped vertex in HNSW, one
+     * cluster chunk in IVF).
+     * @param kind phase of the search
+     * @param index_bytes bytes of index structure (adjacency / posting
+     *        list) the host reads to discover the batch
+     * @param ident the popped vertex / scanned cluster id, so the
+     *        timing layer can model index-data cache locality
+     */
+    virtual void beginStep(StepKind kind, std::size_t index_bytes,
+                           std::uint64_t ident)
+    {
+        (void)kind;
+        (void)index_bytes;
+        (void)ident;
+    }
+
+    /**
+     * One distance comparison.
+     * @param v the database vector
+     * @param threshold the result-set bound when the batch was issued
+     *        (+inf while the result set is not yet full)
+     * @param dist the exact distance
+     * @param accepted dist < threshold, i.e. the fetch was effectual
+     */
+    virtual void onCompare(VectorId v, double threshold, double dist,
+                           bool accepted)
+    {
+        (void)v;
+        (void)threshold;
+        (void)dist;
+        (void)accepted;
+    }
+
+    /** Host-side heap/bookkeeping operations in the current step. */
+    virtual void onHeapOps(unsigned n) { (void)n; }
+};
+
+/** Shared default no-op observer. */
+SearchObserver &nullObserver();
+
+} // namespace ansmet::anns
+
+#endif // ANSMET_ANNS_OBSERVER_H

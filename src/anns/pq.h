@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Product quantization (Jegou et al., and Sections 2.1 / 4.3 of the
+ * ANSMET paper).
+ *
+ * The D-dimensional space is split into m subspaces; each sub-vector
+ * is replaced by the id of its nearest codeword from a per-subspace
+ * codebook trained with k-means. At query time the distance from the
+ * query's sub-vector to every codeword of every subspace is memoized
+ * once (the distance table); a database vector's approximate distance
+ * is then m table lookups plus an aggregation.
+ *
+ * Section 4.3: partial *bits* of codeword ids are useless, but partial
+ * *elements* still admit early termination — with only a subset of the
+ * subspaces' codes fetched, summing the fetched codes' memoized
+ * distances and, for each unfetched subspace, the minimum entry of its
+ * table row yields a valid lower bound of the PQ distance.
+ */
+
+#ifndef ANSMET_ANNS_PQ_H
+#define ANSMET_ANNS_PQ_H
+
+#include <cstdint>
+#include <vector>
+
+#include "anns/distance.h"
+#include "anns/heap.h"
+#include "anns/vector.h"
+#include "common/prng.h"
+
+namespace ansmet::anns {
+
+/** PQ training parameters. */
+struct PqParams
+{
+    unsigned subspaces = 8;     //!< m; must divide dims
+    unsigned codebookSize = 16; //!< codewords per subspace (fits 4 bits)
+    unsigned kmeansIters = 10;
+    std::uint64_t seed = 42;
+};
+
+/** A trained product quantizer plus the encoded database. */
+class PqIndex
+{
+  public:
+    /** Train codebooks on @p vs and encode every vector. */
+    PqIndex(const VectorSet &vs, Metric metric, PqParams params = {});
+
+    unsigned subspaces() const { return params_.subspaces; }
+    unsigned codebookSize() const { return params_.codebookSize; }
+    unsigned subDims() const { return sub_dims_; }
+
+    /** Code of vector @p v in subspace @p s. */
+    std::uint8_t
+    code(VectorId v, unsigned s) const
+    {
+        return codes_[static_cast<std::size_t>(v) * params_.subspaces + s];
+    }
+
+    /** Codeword @p c of subspace @p s (subDims() floats). */
+    const float *
+    codeword(unsigned s, unsigned c) const
+    {
+        return codebooks_.data() +
+               (static_cast<std::size_t>(s) * params_.codebookSize + c) *
+                   sub_dims_;
+    }
+
+    /**
+     * The memoized query-to-codeword distance table:
+     * table[s * codebookSize + c] = distance contribution of subspace
+     * s if the vector's code there is c.
+     */
+    std::vector<double> distanceTable(const float *query) const;
+
+    /** PQ-approximate distance via the memoized table. */
+    double
+    tableDistance(const std::vector<double> &table, VectorId v) const
+    {
+        double acc = 0.0;
+        for (unsigned s = 0; s < params_.subspaces; ++s)
+            acc += table[s * params_.codebookSize + code(v, s)];
+        return acc;
+    }
+
+    /**
+     * Lower bound on the PQ distance when only subspaces
+     * [0, fetched) of @p v 's code have been read: fetched codes use
+     * their exact table entry, the rest use their row minimum
+     * (Section 4.3's partial-element bound).
+     */
+    double partialLowerBound(const std::vector<double> &table,
+                             const std::vector<double> &row_minima,
+                             VectorId v, unsigned fetched) const;
+
+    /** Per-subspace row minima of @p table (precompute once). */
+    std::vector<double>
+    rowMinima(const std::vector<double> &table) const;
+
+    /** Exact PQ kNN over the encoded database. */
+    std::vector<Neighbor> search(const float *query, std::size_t k) const;
+
+    /**
+     * PQ kNN with partial-element early termination: identical
+     * results, fewer code reads. @p reads_out (optional) accumulates
+     * the number of per-subspace code reads performed.
+     */
+    std::vector<Neighbor> searchEt(const float *query, std::size_t k,
+                                   std::uint64_t *reads_out = nullptr) const;
+
+    std::size_t size() const { return n_; }
+    Metric metric() const { return metric_; }
+
+  private:
+    void train(const VectorSet &vs);
+    void encode(const VectorSet &vs);
+
+    PqParams params_;
+    Metric metric_;
+    unsigned dims_;
+    unsigned sub_dims_;
+    std::size_t n_;
+    std::vector<float> codebooks_;
+    std::vector<std::uint8_t> codes_;
+};
+
+} // namespace ansmet::anns
+
+#endif // ANSMET_ANNS_PQ_H

@@ -1,0 +1,101 @@
+#include "anns/scalar.h"
+
+#include "anns/distance.h"
+
+namespace ansmet::anns {
+
+const char *
+metricName(Metric m)
+{
+    switch (m) {
+      case Metric::kL2:     return "L2";
+      case Metric::kIp:     return "IP";
+      case Metric::kCosine: return "Cosine";
+    }
+    return "?";
+}
+
+const char *
+scalarName(ScalarType t)
+{
+    switch (t) {
+      case ScalarType::kUint8: return "UINT8";
+      case ScalarType::kInt8:  return "INT8";
+      case ScalarType::kFp16:  return "FP16";
+      case ScalarType::kFp32:  return "FP32";
+    }
+    return "?";
+}
+
+std::uint16_t
+floatToHalf(float f)
+{
+    const std::uint32_t x = floatBits(f);
+    const std::uint32_t sign = (x >> 16) & 0x8000u;
+    const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xff) - 127;
+    std::uint32_t mant = x & 0x7fffffu;
+
+    if (exp == 128) {
+        // Inf / NaN
+        return static_cast<std::uint16_t>(sign | 0x7c00u |
+                                          (mant ? 0x200u : 0u));
+    }
+    if (exp > 15) {
+        // Overflow -> inf
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+    if (exp >= -14) {
+        // Normal. Round to nearest even on the 13 dropped bits.
+        std::uint32_t half =
+            sign | (static_cast<std::uint32_t>(exp + 15) << 10) |
+            (mant >> 13);
+        const std::uint32_t rem = mant & 0x1fffu;
+        if (rem > 0x1000u || (rem == 0x1000u && (half & 1)))
+            ++half;
+        return static_cast<std::uint16_t>(half);
+    }
+    if (exp >= -24) {
+        // Subnormal.
+        mant |= 0x800000u;
+        const unsigned shift = static_cast<unsigned>(-exp - 14 + 13);
+        std::uint32_t half = sign | (mant >> shift);
+        const std::uint32_t rem = mant & ((1u << shift) - 1);
+        const std::uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half & 1)))
+            ++half;
+        return static_cast<std::uint16_t>(half);
+    }
+    // Underflow -> signed zero.
+    return static_cast<std::uint16_t>(sign);
+}
+
+float
+halfToFloat(std::uint16_t h)
+{
+    const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u)
+                               << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1f;
+    const std::uint32_t mant = h & 0x3ffu;
+
+    if (exp == 0) {
+        if (mant == 0)
+            return bitsToFloat(sign);
+        // Subnormal: normalize.
+        std::uint32_t m = mant;
+        std::int32_t e = -14;
+        while (!(m & 0x400u)) {
+            m <<= 1;
+            --e;
+        }
+        m &= 0x3ffu;
+        return bitsToFloat(sign |
+                           (static_cast<std::uint32_t>(e + 127) << 23) |
+                           (m << 13));
+    }
+    if (exp == 31) {
+        return bitsToFloat(sign | 0x7f800000u | (mant << 13));
+    }
+    return bitsToFloat(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+} // namespace ansmet::anns

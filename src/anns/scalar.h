@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Scalar element types supported by the vector database (Table 2 of the
+ * paper uses UINT8, INT8, and FP32; FP16 is supported for completeness)
+ * plus IEEE-754 half-precision conversion helpers.
+ */
+
+#ifndef ANSMET_ANNS_SCALAR_H
+#define ANSMET_ANNS_SCALAR_H
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ansmet::anns {
+
+/** Element data type of a vector set. */
+enum class ScalarType : std::uint8_t { kUint8, kInt8, kFp16, kFp32 };
+
+/** Bit width of one element. */
+constexpr unsigned
+scalarBits(ScalarType t)
+{
+    switch (t) {
+      case ScalarType::kUint8:
+      case ScalarType::kInt8:
+        return 8;
+      case ScalarType::kFp16:
+        return 16;
+      case ScalarType::kFp32:
+        return 32;
+    }
+    return 0;
+}
+
+constexpr unsigned
+scalarBytes(ScalarType t)
+{
+    return scalarBits(t) / 8;
+}
+
+const char *scalarName(ScalarType t);
+
+/** Convert a float to IEEE-754 binary16 (round-to-nearest-even). */
+std::uint16_t floatToHalf(float f);
+
+/** Convert IEEE-754 binary16 to float. */
+float halfToFloat(std::uint16_t h);
+
+/** Reinterpret a float's bits as uint32. */
+inline std::uint32_t
+floatBits(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+inline float
+bitsToFloat(std::uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace ansmet::anns
+
+#endif // ANSMET_ANNS_SCALAR_H

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the ET codecs and layouts.
+ */
+
+#ifndef ANSMET_COMMON_BITOPS_H
+#define ANSMET_COMMON_BITOPS_H
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace ansmet {
+
+/** A mask with the low @p n bits set; n may be 0..64. */
+constexpr std::uint64_t
+maskLow(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/**
+ * Extract @p len bits of @p value starting @p hi_off bits below the MSB
+ * of a @p width -bit quantity. Bits are numbered MSB-first, matching the
+ * fetch order of the early-termination layout.
+ */
+constexpr std::uint64_t
+extractMsbFirst(std::uint64_t value, unsigned width, unsigned hi_off,
+                unsigned len)
+{
+    const unsigned shift = width - hi_off - len;
+    return (value >> shift) & maskLow(len);
+}
+
+/** Round @p x up to the next multiple of @p m (m > 0). */
+constexpr std::uint64_t
+roundUp(std::uint64_t x, std::uint64_t m)
+{
+    return (x + m - 1) / m * m;
+}
+
+/** Ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True if @p x is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t x)
+{
+    return static_cast<unsigned>(std::countr_zero(x));
+}
+
+/** Number of bits needed to represent values 0..x (at least 1). */
+constexpr unsigned
+bitsFor(std::uint64_t x)
+{
+    unsigned b = 1;
+    while ((std::uint64_t{1} << b) <= x && b < 64)
+        ++b;
+    return b;
+}
+
+/**
+ * An append-only MSB-first bit stream writer over a byte buffer, used to
+ * serialize transformed vector layouts.
+ */
+class BitWriter
+{
+  public:
+    explicit BitWriter(std::vector<std::uint8_t> &buf) : buf_(buf) {}
+
+    /** Append the low @p len bits of @p value, MSB of the field first. */
+    void
+    put(std::uint64_t value, unsigned len)
+    {
+        for (unsigned i = 0; i < len; ++i) {
+            const unsigned bit =
+                static_cast<unsigned>((value >> (len - 1 - i)) & 1);
+            if (bit_pos_ == 0)
+                buf_.push_back(0);
+            if (bit)
+                buf_.back() |= static_cast<std::uint8_t>(0x80u >> bit_pos_);
+            bit_pos_ = (bit_pos_ + 1) & 7;
+        }
+    }
+
+    /** Pad with zero bits up to the next multiple of @p align bits. */
+    void
+    align(unsigned align_bits)
+    {
+        const std::uint64_t pos = bitLength();
+        const std::uint64_t target = roundUp(pos, align_bits);
+        for (std::uint64_t i = pos; i < target; ++i)
+            put(0, 1);
+    }
+
+    std::uint64_t
+    bitLength() const
+    {
+        return buf_.size() * 8 - (bit_pos_ == 0 ? 0 : (8 - bit_pos_));
+    }
+
+  private:
+    std::vector<std::uint8_t> &buf_;
+    unsigned bit_pos_ = 0;
+};
+
+/** MSB-first bit stream reader, the counterpart of BitWriter. */
+class BitReader
+{
+  public:
+    BitReader(const std::uint8_t *data, std::uint64_t bit_len)
+        : data_(data), bit_len_(bit_len)
+    {}
+
+    /** Read @p len bits; reading past the end is a panic. */
+    std::uint64_t
+    get(unsigned len)
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < len; ++i) {
+            const std::uint64_t byte = pos_ >> 3;
+            const unsigned off = static_cast<unsigned>(pos_ & 7);
+            v = (v << 1) | ((data_[byte] >> (7 - off)) & 1);
+            ++pos_;
+        }
+        return v;
+    }
+
+    void seek(std::uint64_t bit_pos) { pos_ = bit_pos; }
+    std::uint64_t pos() const { return pos_; }
+    std::uint64_t size() const { return bit_len_; }
+    bool exhausted() const { return pos_ >= bit_len_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::uint64_t bit_len_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace ansmet
+
+#endif // ANSMET_COMMON_BITOPS_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component takes an explicit Prng so that a run is a
+ * pure function of its seeds; simulations must never read global
+ * randomness.
+ */
+
+#ifndef ANSMET_COMMON_PRNG_H
+#define ANSMET_COMMON_PRNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace ansmet {
+
+/**
+ * xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64. Fast,
+ * high-quality, and trivially reproducible across platforms.
+ */
+class Prng
+{
+  public:
+    explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : s_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection-free multiply-shift; bias is negligible for our use.
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double
+    gaussian()
+    {
+        if (has_cached_) {
+            has_cached_ = false;
+            return cached_;
+        }
+        double u1 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 6.283185307179586 * u2;
+        cached_ = r * std::sin(theta);
+        has_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+    /**
+     * Zipf-distributed integer in [0, n) with exponent @p alpha, via
+     * inverse-CDF on precomputed weights is too slow for large n, so we
+     * use rejection sampling (Devroye).
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double alpha)
+    {
+        // Rejection method valid for alpha > 1.
+        const double b = std::pow(2.0, alpha - 1.0);
+        while (true) {
+            const double u = uniform();
+            const double v = uniform();
+            const double x = std::floor(std::pow(u, -1.0 / (alpha - 1.0)));
+            const double t = std::pow(1.0 + 1.0 / x, alpha - 1.0);
+            if (v * x * (t - 1.0) / (b - 1.0) <= t / b &&
+                x <= static_cast<double>(n)) {
+                return static_cast<std::uint64_t>(x) - 1;
+            }
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+    double cached_ = 0.0;
+    bool has_cached_ = false;
+};
+
+} // namespace ansmet
+
+#endif // ANSMET_COMMON_PRNG_H

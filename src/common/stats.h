@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Lightweight statistics: named counters, scalar stats, and histograms.
+ *
+ * Components own a StatGroup; the experiment runner collects and prints
+ * them. This mirrors the gem5 stats package at a much smaller scale.
+ */
+
+#ifndef ANSMET_COMMON_STATS_H
+#define ANSMET_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logging.h"
+
+namespace ansmet {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void operator+=(std::uint64_t n) { value_ += n; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Mean/min/max accumulator for a sampled scalar. */
+class ScalarStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        sum_sq_ += v * v;
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        const double m = mean();
+        return sum_sq_ / count_ - m * m;
+    }
+
+    void
+    reset()
+    {
+        sum_ = sum_sq_ = min_ = max_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with under/overflow buckets. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0.0, 1.0, 1) {}
+
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lo_(lo), hi_(hi), buckets_(buckets, 0)
+    {
+        ANSMET_ASSERT(hi > lo && buckets > 0);
+    }
+
+    void
+    sample(double v)
+    {
+        ++total_;
+        if (v < lo_) {
+            ++underflow_;
+        } else if (v >= hi_) {
+            ++overflow_;
+        } else {
+            const auto idx = static_cast<std::size_t>(
+                (v - lo_) / (hi_ - lo_) * buckets_.size());
+            ++buckets_[idx < buckets_.size() ? idx : buckets_.size() - 1];
+        }
+    }
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    double bucketLo(std::size_t i) const
+    {
+        return lo_ + (hi_ - lo_) * i / buckets_.size();
+    }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named, ordered collection of counters/scalars owned by a component.
+ * Registration returns references that stay valid for the group's
+ * lifetime (values live in node-stable maps).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &n) { return counters_[n]; }
+    ScalarStat &scalar(const std::string &n) { return scalars_[n]; }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, ScalarStat> &scalars() const
+    {
+        return scalars_;
+    }
+    const std::string &name() const { return name_; }
+
+    void
+    reset()
+    {
+        for (auto &[k, c] : counters_)
+            c.reset();
+        for (auto &[k, s] : scalars_)
+            s.reset();
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, ScalarStat> scalars_;
+};
+
+} // namespace ansmet
+
+#endif // ANSMET_COMMON_STATS_H

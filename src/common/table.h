@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit
+ * paper-style rows and series.
+ */
+
+#ifndef ANSMET_COMMON_TABLE_H
+#define ANSMET_COMMON_TABLE_H
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ansmet {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Start a new row. */
+    TextTable &
+    row()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    TextTable &
+    cell(const std::string &s)
+    {
+        rows_.back().push_back(s);
+        return *this;
+    }
+
+    TextTable &
+    cell(double v, int precision = 3)
+    {
+        std::ostringstream oss;
+        oss << std::fixed << std::setprecision(precision) << v;
+        rows_.back().push_back(oss.str());
+        return *this;
+    }
+
+    TextTable &
+    cell(std::uint64_t v)
+    {
+        rows_.back().push_back(std::to_string(v));
+        return *this;
+    }
+
+    TextTable &
+    cellPct(double frac, int precision = 1)
+    {
+        std::ostringstream oss;
+        oss << std::fixed << std::setprecision(precision) << frac * 100.0
+            << "%";
+        rows_.back().push_back(oss.str());
+        return *this;
+    }
+
+    /** Render with columns padded to the widest cell. */
+    std::string
+    str() const
+    {
+        std::vector<std::size_t> widths(header_.size(), 0);
+        auto widen = [&](const std::vector<std::string> &r) {
+            for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i)
+                widths[i] = std::max(widths[i], r[i].size());
+        };
+        widen(header_);
+        for (const auto &r : rows_)
+            widen(r);
+
+        std::ostringstream oss;
+        auto emit = [&](const std::vector<std::string> &r) {
+            for (std::size_t i = 0; i < widths.size(); ++i) {
+                const std::string &c = i < r.size() ? r[i] : std::string();
+                oss << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+                    << c;
+            }
+            oss << "\n";
+        };
+        emit(header_);
+        std::vector<std::string> rule;
+        for (auto w : widths)
+            rule.push_back(std::string(w, '-'));
+        emit(rule);
+        for (const auto &r : rows_)
+            emit(r);
+        return oss.str();
+    }
+
+    void print() const { std::fputs(str().c_str(), stdout); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ansmet
+
+#endif // ANSMET_COMMON_TABLE_H

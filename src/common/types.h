@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module.
+ */
+
+#ifndef ANSMET_COMMON_TYPES_H
+#define ANSMET_COMMON_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace ansmet {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A value no event can be scheduled at. */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/** Physical byte address inside the simulated memory system. */
+using Addr = std::uint64_t;
+
+/** Identifier of a vector in the database. */
+using VectorId = std::uint32_t;
+
+constexpr VectorId kInvalidVector = std::numeric_limits<VectorId>::max();
+
+/** Picoseconds per nanosecond, for readability at call sites. */
+constexpr Tick kTicksPerNs = 1000;
+
+/** Convert a frequency in GHz to the clock period in ticks (ps). */
+constexpr Tick
+periodFromGHz(double ghz)
+{
+    return static_cast<Tick>(1000.0 / ghz);
+}
+
+/** Size of one DRAM burst / cacheline in bytes throughout the system. */
+constexpr std::uint32_t kLineBytes = 64;
+
+} // namespace ansmet
+
+#endif // ANSMET_COMMON_TYPES_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The nine evaluated designs (Section 6 of the paper, "Evaluated
+ * designs") and their mapping onto hardware/ET configurations.
+ */
+
+#ifndef ANSMET_CORE_DESIGN_H
+#define ANSMET_CORE_DESIGN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "et/fetchsim.h"
+
+namespace ansmet::core {
+
+/** Evaluated design points. */
+enum class Design : std::uint8_t
+{
+    kCpuBase,   //!< host CPU only, full fetches
+    kCpuEt,     //!< host CPU + hybrid ET, heuristic layout
+    kCpuEtOpt,  //!< host CPU + dual-granularity + prefix elimination
+    kNdpBase,   //!< 32 NDP units, full fetches
+    kNdpDimEt,  //!< NDP + partial-dimension-only ET (prior work)
+    kNdpBitEt,  //!< NDP + fixed 1-bit ET (BitNN-style)
+    kNdpEt,     //!< NDP + hybrid ET, heuristic layout
+    kNdpEtDual, //!< NDP + dual-granularity fetch
+    kNdpEtOpt,  //!< full ANSMET (+ common prefix elimination)
+};
+
+inline const char *
+designName(Design d)
+{
+    switch (d) {
+      case Design::kCpuBase:   return "CPU-Base";
+      case Design::kCpuEt:     return "CPU-ET";
+      case Design::kCpuEtOpt:  return "CPU-ETOpt";
+      case Design::kNdpBase:   return "NDP-Base";
+      case Design::kNdpDimEt:  return "NDP-DimET";
+      case Design::kNdpBitEt:  return "NDP-BitET";
+      case Design::kNdpEt:     return "NDP-ET";
+      case Design::kNdpEtDual: return "NDP-ET+Dual";
+      case Design::kNdpEtOpt:  return "NDP-ETOpt";
+    }
+    return "?";
+}
+
+inline bool
+isNdp(Design d)
+{
+    switch (d) {
+      case Design::kCpuBase:
+      case Design::kCpuEt:
+      case Design::kCpuEtOpt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** The ET scheme each design runs. */
+inline et::EtScheme
+schemeOf(Design d)
+{
+    switch (d) {
+      case Design::kCpuBase:
+      case Design::kNdpBase:
+        return et::EtScheme::kNone;
+      case Design::kNdpDimEt:
+        return et::EtScheme::kDimOnly;
+      case Design::kNdpBitEt:
+        return et::EtScheme::kBitSerial;
+      case Design::kCpuEt:
+      case Design::kNdpEt:
+        return et::EtScheme::kHeuristic;
+      case Design::kNdpEtDual:
+        return et::EtScheme::kDual;
+      case Design::kCpuEtOpt:
+      case Design::kNdpEtOpt:
+        return et::EtScheme::kOpt;
+    }
+    return et::EtScheme::kNone;
+}
+
+/** All nine designs in the paper's legend order. */
+inline std::vector<Design>
+allDesigns()
+{
+    return {Design::kCpuBase,  Design::kCpuEt,     Design::kCpuEtOpt,
+            Design::kNdpBase,  Design::kNdpDimEt,  Design::kNdpBitEt,
+            Design::kNdpEt,    Design::kNdpEtDual, Design::kNdpEtOpt};
+}
+
+} // namespace ansmet::core
+
+#endif // ANSMET_CORE_DESIGN_H

@@ -1,0 +1,653 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "ndp/instr.h"
+
+namespace ansmet::core {
+
+namespace {
+
+/** Byte-address regions so vector and index data never alias. */
+constexpr Addr kVectorRegion = 0;
+constexpr Addr kIndexRegion = Addr{1} << 38;
+constexpr Addr kCentroidRegion = Addr{1} << 39;
+constexpr Addr kIndexStride = 4096;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Query context: one host core's in-flight query state machine.
+// ---------------------------------------------------------------------
+
+class SystemModel::QueryContext
+{
+  public:
+    QueryContext(SystemModel &sys, unsigned id) : sys_(sys), id_(id) {}
+
+    void start() { pickNext(); }
+
+  private:
+    struct UnitBatch
+    {
+        std::vector<ndp::NdpTask> tasks;
+        unsigned writes = 0;
+    };
+
+    void
+    pickNext()
+    {
+        if (sys_.next_query_ >= sys_.traces_->size())
+            return; // this core is done
+        qidx_ = sys_.next_query_++;
+        trace_ = &(*sys_.traces_)[qidx_];
+        stats_ = QueryStats{};
+        stats_.start = sys_.eq_.now();
+        step_ = 0;
+        query_loaded_units_.clear();
+        startStep();
+    }
+
+    void
+    startStep()
+    {
+        if (step_ >= trace_->steps.size()) {
+            finishQuery();
+            return;
+        }
+        step_start_ = sys_.eq_.now();
+        const TraceStep &s = trace_->steps[step_];
+
+        sys_.hostCpu_->compute(
+            sys_.cfg_.host.stepOverheadCycles, [this, &s] {
+                const unsigned lines = std::max<unsigned>(
+                    1, static_cast<unsigned>(
+                           divCeil(s.indexBytes, kLineBytes)));
+                const Addr addr =
+                    s.kind == anns::StepKind::kCentroidScan
+                        ? kCentroidRegion
+                        : kIndexRegion + s.ident * kIndexStride;
+                sys_.hostCpu_->read(addr, lines, [this] { afterIndex(); });
+            });
+    }
+
+    void
+    afterIndex()
+    {
+        stats_.traversal += sys_.eq_.now() - step_start_;
+        const TraceStep &s = trace_->steps[step_];
+        if (s.tasks.empty()) {
+            finishStep();
+            return;
+        }
+        offload_start_ = sys_.eq_.now();
+        if (isNdp(sys_.cfg_.design)) {
+            ndpOffload();
+        } else {
+            task_ = 0;
+            cpuNextTask();
+        }
+    }
+
+    // ---------------- CPU path ----------------
+
+    void
+    cpuNextTask()
+    {
+        const TraceStep &s = trace_->steps[step_];
+        if (task_ >= s.tasks.size()) {
+            stats_.distComp += sys_.eq_.now() - offload_start_;
+            finishStep();
+            return;
+        }
+        const CompareTask &t = s.tasks[task_];
+        const et::FetchResult fr = sys_.fetchsim_->simulate(
+            trace_->query.data(), t.vec, t.threshold);
+        accountFetch(t, fr.totalLines(), fr.terminatedEarly,
+                     fr.backupLines);
+
+        const unsigned lines = std::max(1u, fr.totalLines());
+        const Addr addr =
+            kVectorRegion +
+            (static_cast<Addr>(t.vec) * sys_.fetchsim_->fullLines()) *
+                kLineBytes;
+        sys_.hostCpu_->read(addr, lines, [this, lines] {
+            // SIMD distance kernel + per-line bound checks.
+            const unsigned dims = sys_.vs_.dims();
+            const std::uint64_t per_line =
+                divCeil(std::max(1u, dims / std::max(1u, lines)),
+                        sys_.cfg_.host.simdLanes) +
+                2 + sys_.cfg_.host.bitRecoverCycles;
+            sys_.hostCpu_->compute(per_line * lines + 8, [this] {
+                ++task_;
+                cpuNextTask();
+            });
+        });
+    }
+
+    // ---------------- NDP path ----------------
+
+    void
+    ndpOffload()
+    {
+        const TraceStep &s = trace_->steps[step_];
+        std::unordered_map<unsigned, UnitBatch> batches;
+
+        pending_sub_ = 0;
+        max_tasks_per_unit_ = 0;
+        unit_pending_.clear();
+        results_fetched_.clear();
+
+        for (const CompareTask &t : s.tasks) {
+            const unsigned group = chooseGroup(t.vec);
+            const auto &places = sys_.placeOf(t.vec, group);
+            for (const auto &sp : places) {
+                const et::FetchResult fr = sys_.fetchsim_->simulateRange(
+                    trace_->query.data(), t.vec, t.threshold, sp.dimBegin,
+                    sp.dimEnd);
+                accountFetch(t, fr.totalLines(), fr.terminatedEarly,
+                             fr.backupLines);
+                sys_.loads_->add(sp.rank, fr.totalLines());
+
+                ndp::NdpTask task;
+                task.startLine = sp.baseLine;
+                task.lines = std::max(1u, fr.totalLines());
+                const unsigned unit = sp.rank;
+                task.onComplete = [this, unit](Tick when) {
+                    ndpTaskDone(unit, when);
+                };
+                batches[unit].tasks.push_back(std::move(task));
+                ++unit_pending_[unit];
+                ++pending_sub_;
+            }
+        }
+
+        // Instruction writes per unit: set-query per QSHR used (first
+        // use only) plus one set-search per 8 tasks.
+        const unsigned k = std::max(1u, sys_.cfg_.qshrsPerQuery);
+        units_in_step_.clear();
+        pending_writes_ = 0;
+        for (auto &[unit, batch] : batches) {
+            units_in_step_.push_back(unit);
+            const unsigned qshrs_used = std::min<unsigned>(
+                k, static_cast<unsigned>(batch.tasks.size()));
+            unsigned writes = static_cast<unsigned>(
+                divCeil(batch.tasks.size(), 8));
+            const unsigned dims_per_sub = static_cast<unsigned>(divCeil(
+                sys_.vs_.dims(),
+                sys_.part_ ? sys_.part_->ranksPerGroup() : 1));
+            const unsigned qbytes = std::min<unsigned>(
+                ndp::kQshrQueryBytes,
+                std::max(1u, dims_per_sub *
+                                 anns::scalarBytes(sys_.vs_.type())));
+            for (unsigned slot = 0; slot < qshrs_used; ++slot) {
+                if (query_loaded_units_.insert(unit * 64 + slot).second)
+                    writes += ndp::setQueryWrites(qbytes);
+            }
+            batch.writes = writes;
+            pending_writes_ += writes;
+            max_tasks_per_unit_ = std::max(
+                max_tasks_per_unit_,
+                static_cast<unsigned>(divCeil(batch.tasks.size(), k)));
+        }
+
+        all_tasks_submitted_ = false;
+        tasks_done_ = false;
+        collected_ = false;
+        poll_inflight_ = 0;
+
+        // Issue the instruction stream. The final write of each unit's
+        // batch hands its tasks to that unit, spread across this
+        // query's QSHRs.
+        unsigned issued_units = 0;
+        for (auto &[unit, batch] : batches) {
+            const unsigned ch = sys_.channelOf(unit);
+            for (unsigned w = 0; w + 1 < batch.writes; ++w) {
+                sys_.hostCpu_->channel(ch).enqueueBusTransfer(
+                    true, [this](Tick) { writeDone(); });
+            }
+            sys_.hostCpu_->channel(ch).enqueueBusTransfer(
+                true,
+                [this, unit, k,
+                 tasks = std::move(batch.tasks)](Tick) mutable {
+                    const unsigned nq = sys_.cfg_.ndpParams.numQshrs;
+                    for (std::size_t i = 0; i < tasks.size(); ++i) {
+                        const unsigned qshr =
+                            (id_ * k + static_cast<unsigned>(i) % k) % nq;
+                        sys_.units_[unit]->submit(qshr,
+                                                  std::move(tasks[i]));
+                    }
+                    writeDone();
+                });
+            ++issued_units;
+        }
+        ANSMET_ASSERT(issued_units > 0);
+    }
+
+    void
+    writeDone()
+    {
+        ANSMET_ASSERT(pending_writes_ > 0);
+        if (--pending_writes_ != 0)
+            return;
+        offload_done_ = sys_.eq_.now();
+        stats_.offload += offload_done_ - offload_start_;
+        all_tasks_submitted_ = true;
+        if (pending_sub_ == 0)
+            tasksFinished(offload_done_);
+        schedulePolling();
+    }
+
+    void
+    ndpTaskDone(unsigned unit, Tick when)
+    {
+        ANSMET_ASSERT(pending_sub_ > 0);
+        --unit_pending_[unit];
+        if (--pending_sub_ == 0 && all_tasks_submitted_)
+            tasksFinished(when);
+    }
+
+    void
+    tasksFinished(Tick when)
+    {
+        tasks_done_ = true;
+        last_task_done_ = when;
+        stats_.distComp += when - offload_done_;
+        if (sys_.cfg_.polling.mode == ndp::PollingMode::kIdeal)
+            collected();
+    }
+
+    void
+    schedulePolling()
+    {
+        if (sys_.cfg_.polling.mode == ndp::PollingMode::kIdeal)
+            return;
+        Tick first;
+        if (sys_.cfg_.polling.mode == ndp::PollingMode::kConventional) {
+            first = sys_.cfg_.polling.conventionalInterval;
+        } else {
+            first = sys_.pollEst_
+                        ? sys_.pollEst_->expectedLatency(
+                              std::max(1u, max_tasks_per_unit_))
+                        : sys_.cfg_.polling.conventionalInterval;
+        }
+        sys_.eq_.scheduleIn(std::max<Tick>(first, 1), [this] { poll(); });
+    }
+
+    void
+    poll()
+    {
+        if (collected_)
+            return;
+        // Probe only the units whose results are still outstanding;
+        // each successful probe also transfers that unit's results.
+        std::vector<unsigned> targets;
+        for (const unsigned unit : units_in_step_) {
+            if (!results_fetched_.count(unit))
+                targets.push_back(unit);
+        }
+        ANSMET_ASSERT(!targets.empty());
+        poll_inflight_ = static_cast<unsigned>(targets.size());
+        stats_.polls += poll_inflight_;
+        for (const unsigned unit : targets) {
+            sys_.hostCpu_->channel(sys_.channelOf(unit))
+                .enqueueBusTransfer(false, [this, unit](Tick) {
+                    if (unit_pending_[unit] == 0)
+                        results_fetched_.insert(unit);
+                    if (--poll_inflight_ != 0)
+                        return;
+                    if (results_fetched_.size() ==
+                        units_in_step_.size()) {
+                        collected();
+                    } else {
+                        const Tick backoff =
+                            sys_.cfg_.polling.mode ==
+                                    ndp::PollingMode::kConventional
+                                ? sys_.cfg_.polling.conventionalInterval
+                                : sys_.cfg_.polling.adaptiveBackoff;
+                        sys_.eq_.scheduleIn(backoff, [this] { poll(); });
+                    }
+                });
+        }
+    }
+
+    void
+    collected()
+    {
+        if (collected_)
+            return;
+        collected_ = true;
+        stats_.collect += sys_.eq_.now() - last_task_done_;
+        finishStep();
+    }
+
+    // ---------------- common ----------------
+
+    unsigned
+    chooseGroup(VectorId v)
+    {
+        if (!sys_.part_)
+            return 0;
+        const auto &part = *sys_.part_;
+        if (!part.isReplicated(v))
+            return part.groupOf(v);
+        // Replicated vector: steer to the currently least-loaded group.
+        unsigned best = 0;
+        std::uint64_t best_load = ~std::uint64_t{0};
+        for (unsigned g = 0; g < part.numGroups(); ++g) {
+            std::uint64_t load = 0;
+            for (unsigned r = 0; r < part.ranksPerGroup(); ++r)
+                load += sys_.loads_->load(g * part.ranksPerGroup() + r);
+            if (load < best_load) {
+                best_load = load;
+                best = g;
+            }
+        }
+        return best;
+    }
+
+    void
+    accountFetch(const CompareTask &t, unsigned lines, bool terminated,
+                 unsigned backup_lines)
+    {
+        if (t.accepted)
+            stats_.linesEffectual += lines;
+        else
+            stats_.linesIneffectual += lines;
+        stats_.backupLines += backup_lines;
+        if (terminated)
+            ++stats_.terminated;
+    }
+
+    void
+    finishStep()
+    {
+        const TraceStep &s = trace_->steps[step_];
+        stats_.comparisons += s.tasks.size();
+        for (const auto &t : s.tasks)
+            stats_.accepted += t.accepted ? 1 : 0;
+
+        const Tick heap_start = sys_.eq_.now();
+        const std::uint64_t cycles =
+            static_cast<std::uint64_t>(s.heapOps) *
+            sys_.cfg_.host.heapOpCycles;
+        sys_.hostCpu_->compute(std::max<std::uint64_t>(cycles, 1),
+                               [this, heap_start] {
+                                   stats_.traversal +=
+                                       sys_.eq_.now() - heap_start;
+                                   ++step_;
+                                   startStep();
+                               });
+    }
+
+    void
+    finishQuery()
+    {
+        stats_.end = sys_.eq_.now();
+        sys_.run_stats_->queries.push_back(stats_);
+        pickNext();
+    }
+
+    SystemModel &sys_;
+    unsigned id_;
+    const QueryTrace *trace_ = nullptr;
+    std::size_t qidx_ = 0;
+    std::size_t step_ = 0;
+    std::size_t task_ = 0;
+    QueryStats stats_;
+
+    Tick step_start_ = 0;
+    Tick offload_start_ = 0;
+    Tick offload_done_ = 0;
+    Tick last_task_done_ = 0;
+
+    unsigned pending_sub_ = 0;
+    unsigned pending_writes_ = 0;
+    unsigned poll_inflight_ = 0;
+    unsigned max_tasks_per_unit_ = 0;
+    bool all_tasks_submitted_ = false;
+    bool tasks_done_ = false;
+    bool collected_ = false;
+
+    std::vector<unsigned> units_in_step_;
+    std::unordered_set<unsigned> query_loaded_units_;
+    std::unordered_map<unsigned, unsigned> unit_pending_;
+    std::unordered_set<unsigned> results_fetched_;
+};
+
+void
+scaleCachesToDataset(SystemConfig &cfg, std::uint64_t data_bytes)
+{
+    // Keep data at least ~16x the LLC, as at billion scale, while
+    // never exceeding the paper's real capacities.
+    auto pow2_capacity = [](std::uint64_t target, unsigned assoc) {
+        std::uint64_t sets =
+            std::max<std::uint64_t>(1, target / (assoc * kLineBytes));
+        sets = std::bit_floor(sets);
+        return sets * assoc * kLineBytes;
+    };
+
+    auto &cp = cfg.host.cacheParams;
+    const std::uint64_t llc_target = std::clamp<std::uint64_t>(
+        data_bytes / 16, 128 * 1024, 8 * 1024 * 1024);
+    cp.llcBytes = pow2_capacity(llc_target, cp.llcAssoc);
+    cp.l2Bytes = std::max<std::uint64_t>(
+        32 * 1024, pow2_capacity(cp.llcBytes / 8, cp.l2Assoc));
+    cp.l1Bytes = std::max<std::uint64_t>(
+        8 * 1024, pow2_capacity(cp.l2Bytes / 8, cp.l1Assoc));
+}
+
+// ---------------------------------------------------------------------
+// SystemModel
+// ---------------------------------------------------------------------
+
+SystemModel::SystemModel(const SystemConfig &cfg, const anns::VectorSet &vs,
+                         anns::Metric metric, const et::EtProfile *profile,
+                         const std::vector<VectorId> &hot)
+    : cfg_(cfg), vs_(vs), metric_(metric)
+{
+    fetchsim_ = std::make_unique<et::FetchSimulator>(
+        vs, metric, schemeOf(cfg.design), profile);
+    hostCpu_ = std::make_unique<cpu::HostCpu>(eq_, cfg.host, cfg.timing,
+                                              cfg.org);
+
+    if (isNdp(cfg.design)) {
+        for (unsigned u = 0; u < cfg.ndpUnits; ++u) {
+            units_.push_back(std::make_unique<ndp::NdpUnit>(
+                eq_, cfg.ndpParams, cfg.timing, cfg.org, u));
+        }
+        part_ = std::make_unique<layout::Partitioner>(
+            layout::PartitionConfig{cfg.ndpUnits, cfg.subVectorBytes},
+            vs.dims(), anns::scalarBytes(vs.type()), vs.size());
+        loads_ = std::make_unique<layout::LoadTracker>(cfg.ndpUnits);
+        allocatePlacement(cfg.replicateHot ? hot : std::vector<VectorId>{});
+
+        // Adaptive polling prediction: with a fetch window of depth d,
+        // the steady-state cost per line is roughly one DRAM round
+        // trip divided by d, plus a pipeline-fill fixed cost.
+        const unsigned rt =
+            cfg.timing.tRCD + cfg.timing.tCL + cfg.timing.tBL;
+        const Tick per_line = cfg.timing.cycles(
+            std::max(cfg.timing.tBL,
+                     rt / std::max(1u, cfg.ndpParams.fetchPipelineDepth)));
+        const Tick fixed =
+            cfg.timing.cycles(rt) + 4 * cfg.ndpParams.period();
+        const et::EtScheme scheme = schemeOf(cfg.design);
+        const bool uses_et = scheme != et::EtScheme::kNone &&
+                             !(scheme == et::EtScheme::kDimOnly &&
+                               metric != anns::Metric::kL2);
+        if (uses_et && profile && !profile->fetchCountDist.empty()) {
+            // Approximate every ET scheme's completion time with the
+            // sampled ETOpt fetch distribution (Section 5.4).
+            pollEst_ = std::make_unique<ndp::PollingEstimator>(
+                profile->fetchCountDist, per_line, fixed);
+        } else {
+            // No early termination: every task fetches the full layout.
+            std::vector<double> dist(fetchsim_->fullLines() + 1, 0.0);
+            dist.back() = 1.0;
+            pollEst_ = std::make_unique<ndp::PollingEstimator>(
+                dist, per_line, fixed);
+        }
+    }
+}
+
+SystemModel::~SystemModel() = default;
+
+void
+SystemModel::allocatePlacement(const std::vector<VectorId> &hot)
+{
+    rank_alloc_.assign(cfg_.ndpUnits, 0);
+    part_->replicate(hot);
+
+    home_place_.resize(vs_.size());
+    for (std::size_t v = 0; v < vs_.size(); ++v) {
+        const auto id = static_cast<VectorId>(v);
+        const unsigned home = part_->groupOf(id);
+        const auto subs = part_->placement(id, home);
+        auto &out = home_place_[v];
+        for (const auto &s : subs) {
+            const unsigned lines =
+                fetchsim_->subPlan(s.dimEnd - s.dimBegin).totalLines();
+            out.push_back(
+                SubPlace{s.rank, s.dimBegin, s.dimEnd, rank_alloc_[s.rank]});
+            rank_alloc_[s.rank] += lines;
+        }
+        if (part_->isReplicated(id)) {
+            for (unsigned g = 0; g < part_->numGroups(); ++g) {
+                if (g == home)
+                    continue;
+                const auto rsubs = part_->placement(id, g);
+                std::vector<SubPlace> rout;
+                for (const auto &s : rsubs) {
+                    const unsigned lines =
+                        fetchsim_->subPlan(s.dimEnd - s.dimBegin)
+                            .totalLines();
+                    rout.push_back(SubPlace{s.rank, s.dimBegin, s.dimEnd,
+                                            rank_alloc_[s.rank]});
+                    rank_alloc_[s.rank] += lines;
+                }
+                replica_place_[(static_cast<std::uint64_t>(id) << 8) | g] =
+                    std::move(rout);
+            }
+        }
+    }
+}
+
+const std::vector<SystemModel::SubPlace> &
+SystemModel::placeOf(VectorId v, unsigned group) const
+{
+    if (!part_ || group == part_->groupOf(v))
+        return home_place_[v];
+    const auto it =
+        replica_place_.find((static_cast<std::uint64_t>(v) << 8) | group);
+    ANSMET_ASSERT(it != replica_place_.end(),
+                  "no replica of vector in requested group");
+    return it->second;
+}
+
+RunStats
+SystemModel::run(const std::vector<QueryTrace> &traces)
+{
+    ANSMET_ASSERT(!ran_, "SystemModel::run is single-use");
+    ran_ = true;
+
+    RunStats rs;
+    run_stats_ = &rs;
+    traces_ = &traces;
+    next_query_ = 0;
+
+    const unsigned ctxs = std::min<unsigned>(
+        cfg_.concurrentQueries,
+        static_cast<unsigned>(std::max<std::size_t>(1, traces.size())));
+    for (unsigned c = 0; c < ctxs; ++c)
+        contexts_.push_back(std::make_unique<QueryContext>(*this, c));
+    for (auto &c : contexts_)
+        c->start();
+
+    if (std::getenv("ANSMET_EQ_DEBUG")) {
+        eq_.setDebug(true);
+        eq_.setDebugHook([this] {
+            std::size_t bank = 0, ndpq = 0;
+            std::uint64_t nlines = 0, ntasks = 0;
+            for (unsigned c = 0; c < hostCpu_->numChannels(); ++c)
+                bank += hostCpu_->channel(c).queueDepth();
+            for (auto &u : units_) {
+                ndpq += u->rankController().queueDepth();
+                nlines += u->linesFetched();
+                ntasks += u->tasksCompleted();
+            }
+            std::fprintf(stderr,
+                         "  host_bankq=%zu ndp_bankq=%zu ndp_lines=%llu "
+                         "ndp_tasks=%llu done_queries=%zu\n",
+                         bank, ndpq, (unsigned long long)nlines,
+                         (unsigned long long)ntasks,
+                         run_stats_ ? run_stats_->queries.size() : 0);
+        });
+    }
+    eq_.run();
+
+    rs.makespan = eq_.now();
+    rs.loadImbalance = loads_ ? loads_->imbalanceRatio() : 1.0;
+    rs.energy = collectEnergy(rs);
+    run_stats_ = nullptr;
+    return rs;
+}
+
+dram::EnergyBreakdown
+SystemModel::collectEnergy(const RunStats &rs) const
+{
+    dram::EnergyBreakdown total;
+    const Tick elapsed = rs.makespan;
+
+    // Host channel DRAM energy (index data; plus vector data for CPU
+    // designs). I/O is charged for every channel transfer.
+    for (unsigned c = 0; c < hostCpu_->numChannels(); ++c) {
+        const auto &ctrl = hostCpu_->channel(c);
+        std::uint64_t transfers = 0;
+        for (const auto &[name, counter] : ctrl.stats().counters()) {
+            if (name == "reads" || name == "writes" ||
+                name == "bus_reads" || name == "bus_writes") {
+                transfers += counter.value();
+            }
+        }
+        for (unsigned r = 0; r < ctrl.numRanks(); ++r) {
+            total += dram::rankEnergy(ctrl.rankDevice(r), cfg_.energy,
+                                      elapsed,
+                                      r == 0 ? transfers : 0);
+        }
+    }
+
+    // NDP rank energy: no channel I/O for local fetches, plus the
+    // compute units' active power.
+    double ndp_compute_nj = 0.0;
+    for (const auto &u : units_) {
+        const auto &ctrl = u->rankController();
+        total += dram::rankEnergy(ctrl.rankDevice(0), cfg_.energy, elapsed,
+                                  0);
+        ndp_compute_nj += cfg_.energy.ndpUnitActiveMw *
+                          static_cast<double>(u->computeBusy()) * 1e-6;
+    }
+
+    // Host cores: for CPU designs the core spins through the whole
+    // query (compute + memory stall); for NDP designs it is busy only
+    // during traversal, offload, and collection.
+    double host_busy_ticks = 0.0;
+    for (const auto &q : rs.queries) {
+        host_busy_ticks += static_cast<double>(q.traversal) +
+                           static_cast<double>(q.offload) +
+                           static_cast<double>(q.collect);
+        if (!isNdp(cfg_.design))
+            host_busy_ticks += static_cast<double>(q.distComp);
+    }
+    // W * ps = 1e-12 J = 1e-3 nJ
+    const double host_nj =
+        cfg_.energy.cpuCoreActiveW * host_busy_ticks * 1e-3;
+
+    total.backgroundNj += ndp_compute_nj + host_nj;
+    return total;
+}
+
+} // namespace ansmet::core

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The ANSMET system timing model: host CPU + (optionally) rank-level
+ * NDP units over the event-driven DDR5 model, replaying functional
+ * search traces under one of the nine evaluated designs.
+ *
+ * Concurrency model: `concurrentQueries` host cores each drain queries
+ * from a shared queue, so the CPU designs become bandwidth-bound on
+ * the 4 channels (the paper's Figure 1 observation) while the NDP
+ * designs spread distance work over all ranks — that contrast is where
+ * the ~5x NDP speedup comes from, with early termination cutting the
+ * per-comparison line count on top.
+ */
+
+#ifndef ANSMET_CORE_SYSTEM_H
+#define ANSMET_CORE_SYSTEM_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/design.h"
+#include "core/trace.h"
+#include "cpu/host.h"
+#include "dram/power.h"
+#include "et/fetchsim.h"
+#include "layout/partition.h"
+#include "ndp/ndp_unit.h"
+#include "ndp/polling.h"
+
+namespace ansmet::core {
+
+/** Full configuration of one simulated design point. */
+struct SystemConfig
+{
+    Design design = Design::kNdpEtOpt;
+    unsigned ndpUnits = 32;
+    unsigned subVectorBytes = 1024;   //!< hybrid partitioning S
+    bool replicateHot = true;
+    ndp::PollingParams polling{};
+    unsigned concurrentQueries = 16;  //!< host cores driving queries
+    /**
+     * QSHRs each query spreads its same-unit tasks over. More QSHRs
+     * buy intra-unit task parallelism at the cost of extra set-query
+     * writes (the QSHR holds the query data).
+     */
+    unsigned qshrsPerQuery = 2;
+
+    dram::TimingParams timing{};
+    dram::OrgParams org{};
+    cpu::HostParams host{};
+    ndp::NdpParams ndpParams{};
+    dram::EnergyParams energy{};
+};
+
+/** Per-query timing outcome. */
+struct QueryStats
+{
+    Tick start = 0;
+    Tick end = 0;
+    Tick traversal = 0;  //!< index reads + step overhead + heap ops
+    Tick offload = 0;    //!< NDP instruction transfer time
+    Tick distComp = 0;   //!< distance comparison (CPU or NDP)
+    Tick collect = 0;    //!< result polling / collection
+
+    std::uint64_t comparisons = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t terminated = 0;
+    std::uint64_t linesEffectual = 0;   //!< lines of accepted vectors
+    std::uint64_t linesIneffectual = 0; //!< lines of rejected vectors
+    std::uint64_t backupLines = 0;
+    std::uint64_t polls = 0;
+
+    Tick latency() const { return end - start; }
+};
+
+/** Whole-run outcome. */
+struct RunStats
+{
+    std::vector<QueryStats> queries;
+    Tick makespan = 0;
+    dram::EnergyBreakdown energy;
+    double loadImbalance = 1.0;
+
+    double
+    qps() const
+    {
+        if (makespan == 0)
+            return 0.0;
+        return static_cast<double>(queries.size()) /
+               (static_cast<double>(makespan) * 1e-12);
+    }
+
+    Tick
+    meanLatency() const
+    {
+        if (queries.empty())
+            return 0;
+        Tick sum = 0;
+        for (const auto &q : queries)
+            sum += q.latency();
+        return sum / queries.size();
+    }
+
+    std::uint64_t
+    totalLines() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &q : queries)
+            n += q.linesEffectual + q.linesIneffectual + q.backupLines;
+        return n;
+    }
+
+    QueryStats
+    totals() const
+    {
+        QueryStats t;
+        for (const auto &q : queries) {
+            t.traversal += q.traversal;
+            t.offload += q.offload;
+            t.distComp += q.distComp;
+            t.collect += q.collect;
+            t.comparisons += q.comparisons;
+            t.accepted += q.accepted;
+            t.terminated += q.terminated;
+            t.linesEffectual += q.linesEffectual;
+            t.linesIneffectual += q.linesIneffectual;
+            t.backupLines += q.backupLines;
+            t.polls += q.polls;
+        }
+        return t;
+    }
+};
+
+/**
+ * Scale the host cache hierarchy to the (scaled-down) dataset so the
+ * LLC:data ratio matches the paper's billion-scale setting, where
+ * vector data exceeds the last-level cache by orders of magnitude. At
+ * our dataset sizes the full-size 8 MB LLC would otherwise hold the
+ * whole database and make CPU-Base artificially fast (see DESIGN.md,
+ * substitutions). Latencies are unchanged; only capacities shrink.
+ */
+void scaleCachesToDataset(SystemConfig &cfg, std::uint64_t data_bytes);
+
+/**
+ * One design point bound to one dataset. Construct, then call run()
+ * exactly once with the functional traces.
+ */
+class SystemModel
+{
+  public:
+    /**
+     * @param profile ET preprocessing output (may be null for kNone
+     *        schemes)
+     * @param hot vector ids replicated to all rank groups (HNSW upper
+     *        layers / IVF centroids); ignored unless replicateHot
+     */
+    SystemModel(const SystemConfig &cfg, const anns::VectorSet &vs,
+                anns::Metric metric, const et::EtProfile *profile,
+                const std::vector<VectorId> &hot = {});
+
+    ~SystemModel();
+
+    /** Replay @p traces; single use. */
+    RunStats run(const std::vector<QueryTrace> &traces);
+
+    const et::FetchSimulator &fetchSimulator() const { return *fetchsim_; }
+    const layout::Partitioner *partitioner() const { return part_.get(); }
+
+  private:
+    struct SubPlace
+    {
+        unsigned rank;
+        unsigned dimBegin;
+        unsigned dimEnd;
+        std::uint64_t baseLine;
+    };
+
+    class QueryContext;
+    friend class QueryContext;
+
+    void allocatePlacement(const std::vector<VectorId> &hot);
+    const std::vector<SubPlace> &placeOf(VectorId v, unsigned group) const;
+
+    /** Channel that carries NDP unit @p u's instructions. */
+    unsigned
+    channelOf(unsigned u) const
+    {
+        return (u / cfg_.org.ranksPerChannel()) % cfg_.org.channels;
+    }
+
+    dram::EnergyBreakdown collectEnergy(const RunStats &rs) const;
+
+    SystemConfig cfg_;
+    const anns::VectorSet &vs_;
+    anns::Metric metric_;
+
+    sim::EventQueue eq_;
+    std::unique_ptr<et::FetchSimulator> fetchsim_;
+    std::unique_ptr<cpu::HostCpu> hostCpu_;
+    std::vector<std::unique_ptr<ndp::NdpUnit>> units_;
+    std::unique_ptr<layout::Partitioner> part_;
+    std::unique_ptr<layout::LoadTracker> loads_;
+    std::unique_ptr<ndp::PollingEstimator> pollEst_;
+
+    // (vector, group) -> placement with allocated base lines.
+    std::vector<std::vector<SubPlace>> home_place_;
+    std::unordered_map<std::uint64_t, std::vector<SubPlace>> replica_place_;
+    std::vector<std::uint64_t> rank_alloc_;
+
+    // Run state.
+    const std::vector<QueryTrace> *traces_ = nullptr;
+    std::size_t next_query_ = 0;
+    std::vector<std::unique_ptr<QueryContext>> contexts_;
+    RunStats *run_stats_ = nullptr;
+    bool ran_ = false;
+};
+
+} // namespace ansmet::core
+
+#endif // ANSMET_CORE_SYSTEM_H

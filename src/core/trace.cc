@@ -1,0 +1,27 @@
+#include "core/trace.h"
+
+namespace ansmet::core {
+
+QueryTrace
+traceHnswQuery(const anns::HnswIndex &index, const std::vector<float> &query,
+               std::size_t k, std::size_t ef)
+{
+    QueryTrace trace;
+    trace.query = query;
+    TraceBuilder builder(trace);
+    trace.result = index.search(query.data(), k, ef, builder);
+    return trace;
+}
+
+QueryTrace
+traceIvfQuery(const anns::IvfIndex &index, const std::vector<float> &query,
+              std::size_t k, unsigned nprobe)
+{
+    QueryTrace trace;
+    trace.query = query;
+    TraceBuilder builder(trace);
+    trace.result = index.search(query.data(), k, nprobe, builder);
+    return trace;
+}
+
+} // namespace ansmet::core

@@ -1,0 +1,92 @@
+#include "cpu/host.h"
+
+#include "common/logging.h"
+
+namespace ansmet::cpu {
+
+HostCpu::HostCpu(sim::EventQueue &eq, const HostParams &hp,
+                 const dram::TimingParams &tp, const dram::OrgParams &org)
+    : eq_(eq), hp_(hp), org_(org),
+      caches_(std::make_unique<cache::CacheHierarchy>(hp.cacheParams))
+{
+    for (unsigned c = 0; c < org.channels; ++c) {
+        channels_.push_back(std::make_unique<dram::MemController>(
+            eq, tp, org, org.ranksPerChannel(),
+            "host_ch" + std::to_string(c)));
+    }
+}
+
+void
+HostCpu::compute(std::uint64_t cycles, std::function<void()> done)
+{
+    const Tick ticks = cycles * hp_.period();
+    compute_busy_ += ticks;
+    eq_.scheduleIn(ticks, std::move(done));
+}
+
+HostCpu::MappedLine
+HostCpu::mapHostLine(std::uint64_t line) const
+{
+    MappedLine m;
+    // Channel-interleave at line granularity for bandwidth, then rank,
+    // then the in-rank mapping.
+    m.channel = static_cast<unsigned>(line % channels_.size());
+    line /= channels_.size();
+    m.rank = static_cast<unsigned>(line % org_.ranksPerChannel());
+    line /= org_.ranksPerChannel();
+    m.addr = dram::mapLine(line, org_);
+    return m;
+}
+
+void
+HostCpu::read(Addr addr, unsigned lines, std::function<void()> done)
+{
+    ANSMET_ASSERT(lines >= 1);
+    // Issue all lines; complete when the slowest returns. Cache hits
+    // add their hit latency; misses traverse to DRAM.
+    auto remaining = std::make_shared<unsigned>(lines);
+    auto fire = [this, remaining, done = std::move(done)]() {
+        if (--*remaining == 0)
+            done();
+    };
+
+    for (unsigned i = 0; i < lines; ++i) {
+        const Addr a = addr + static_cast<Addr>(i) * kLineBytes;
+        const auto level = caches_->access(a);
+        const Tick lat =
+            static_cast<Tick>(caches_->hitCycles(level)) * hp_.period();
+        if (level != cache::CacheHierarchy::Level::kMemory) {
+            eq_.scheduleIn(lat, fire);
+            continue;
+        }
+        const MappedLine m = mapHostLine(a / kLineBytes);
+        dram::Request req;
+        req.addr = m.addr;
+        req.isWrite = false;
+        req.onComplete = [this, lat, fire](Tick) {
+            // LLC-to-core return latency after the DRAM data arrives.
+            eq_.scheduleIn(lat, fire);
+        };
+        channels_[m.channel]->enqueue(m.rank, std::move(req));
+    }
+}
+
+void
+HostCpu::writeUncached(unsigned channel, Addr addr,
+                       std::function<void()> done)
+{
+    (void)addr; // buffer-chip register target: no bank is involved
+    channels_[channel % channels_.size()]->enqueueBusTransfer(
+        true, [done = std::move(done)](Tick) { done(); });
+}
+
+void
+HostCpu::readUncached(unsigned channel, Addr addr,
+                      std::function<void()> done)
+{
+    (void)addr;
+    channels_[channel % channels_.size()]->enqueueBusTransfer(
+        false, [done = std::move(done)](Tick) { done(); });
+}
+
+} // namespace ansmet::cpu

@@ -1,0 +1,247 @@
+#include "dram/controller.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace ansmet::dram {
+
+MemController::MemController(sim::EventQueue &eq, const TimingParams &tp,
+                             const OrgParams &org, unsigned num_ranks,
+                             std::string name)
+    : eq_(eq), tp_(tp), org_(org),
+      starvation_limit_(tp.cycles(2000)),
+      stats_(std::move(name))
+{
+    ANSMET_ASSERT(num_ranks >= 1);
+    for (unsigned r = 0; r < num_ranks; ++r)
+        ranks_.push_back(std::make_unique<RankDevice>(tp_, org_));
+}
+
+void
+MemController::enqueue(unsigned rank, Request req)
+{
+    ANSMET_ASSERT(rank < ranks_.size(), "bad rank ", rank);
+    req.arrival = eq_.now();
+    queue_.push_back(Pending{rank, std::move(req), next_order_++});
+    ++stats_.counter(queue_.back().req.isWrite ? "writes" : "reads");
+    scheduleKick(eq_.now());
+}
+
+MemController::Candidate
+MemController::nextCommand(const Pending &p, Tick now) const
+{
+    const RankDevice &dev = *ranks_[p.rank];
+    const BankAddr &a = p.req.addr;
+    const auto open = dev.openRow(a);
+
+    if (open && *open == a.row) {
+        // Row hit: column command, also gated by the shared data bus.
+        Tick t = dev.earliestCol(a, p.req.isWrite, now);
+        const Tick data_latency =
+            tp_.cycles(p.req.isWrite ? tp_.tCWL : tp_.tCL);
+        if (data_bus_free_at_ > data_latency &&
+            t + data_latency < data_bus_free_at_) {
+            t = data_bus_free_at_ - data_latency;
+        }
+        return {p.req.isWrite ? Command::kWr : Command::kRd, t, true};
+    }
+    if (open) {
+        // Row conflict: precharge first.
+        return {Command::kPre, dev.earliestPre(a, now), false};
+    }
+    // Bank closed: activate.
+    return {Command::kAct, dev.earliestAct(a, now), false};
+}
+
+void
+MemController::issueFor(Pending &p, const Candidate &c, Tick t)
+{
+    RankDevice &dev = *ranks_[p.rank];
+    switch (c.cmd) {
+      case Command::kAct:
+        dev.issueAct(p.req.addr, t);
+        ++stats_.counter("acts");
+        break;
+      case Command::kPre:
+        dev.issuePre(p.req.addr, t);
+        ++stats_.counter("pres");
+        break;
+      case Command::kRd:
+      case Command::kWr: {
+        const Tick data_end = dev.issueCol(p.req.addr, p.req.isWrite, t);
+        const Tick data_start = data_end - tp_.cycles(tp_.tBL);
+        ANSMET_ASSERT(data_start >= data_bus_free_at_,
+                      "data bus overlap at ", data_start);
+        data_bus_free_at_ = data_end;
+        data_bus_busy_ += tp_.cycles(tp_.tBL);
+        stats_.scalar("queue_latency")
+            .sample(static_cast<double>(t - p.req.arrival));
+        if (p.req.onComplete) {
+            auto cb = std::move(p.req.onComplete);
+            eq_.schedule(data_end, [cb = std::move(cb), data_end] {
+                cb(data_end);
+            });
+        }
+        break;
+      }
+      case Command::kRef:
+        ANSMET_PANIC("REF issued through issueFor");
+    }
+}
+
+void
+MemController::enqueueBusTransfer(bool is_write, Request::Callback cb)
+{
+    bus_queue_.push_back(BusTransfer{is_write, eq_.now(), std::move(cb)});
+    ++stats_.counter(is_write ? "bus_writes" : "bus_reads");
+    scheduleKick(eq_.now());
+}
+
+bool
+MemController::serveBusTransfers(Tick now, Tick before)
+{
+    while (!bus_queue_.empty() && bus_queue_.front().arrival <= before) {
+        const Tick tc = std::max(now, cmd_bus_free_at_);
+        const unsigned latency =
+            bus_queue_.front().isWrite ? tp_.tCWL : tp_.tCL;
+        const Tick data_latency = tp_.cycles(latency);
+        Tick t = tc;
+        if (data_bus_free_at_ > data_latency &&
+            t + data_latency < data_bus_free_at_) {
+            t = data_bus_free_at_ - data_latency;
+        }
+        if (t > now) {
+            scheduleKick(t);
+            return true;
+        }
+        const Tick data_end = t + data_latency + tp_.cycles(tp_.tBL);
+        data_bus_free_at_ = data_end;
+        data_bus_busy_ += tp_.cycles(tp_.tBL);
+        cmd_bus_free_at_ = t + tp_.tCK;
+        auto cb = std::move(bus_queue_.front().cb);
+        bus_queue_.pop_front();
+        if (cb) {
+            eq_.schedule(data_end,
+                         [cb = std::move(cb), data_end] { cb(data_end); });
+        }
+    }
+    return false;
+}
+
+void
+MemController::kick()
+{
+    const Tick now = eq_.now();
+
+    for (auto &r : ranks_)
+        r->catchUpRefresh(now);
+
+    // Age-fair arbitration between buffer-chip transfers and bank
+    // requests: a transfer goes first only if it is not younger than
+    // the oldest queued bank request.
+    const Tick oldest_bank =
+        queue_.empty() ? kMaxTick : queue_.front().req.arrival;
+    serveBusTransfers(now, oldest_bank);
+
+    while (!queue_.empty()) {
+        const Tick tc = std::max(now, cmd_bus_free_at_);
+        if (tc > now) {
+            scheduleKick(tc);
+            return;
+        }
+
+        // FR-FCFS with an age cap: serve the oldest request's command
+        // unconditionally if it has been starving; otherwise prefer the
+        // oldest ready row hit, then the oldest request's prep command.
+        Pending *chosen = nullptr;
+        Candidate chosen_cmd{};
+        Tick soonest = kMaxTick;
+
+        const bool starving =
+            now - queue_.front().req.arrival > starvation_limit_;
+
+        for (auto &p : queue_) {
+            if (starving && &p != &queue_.front())
+                continue;
+            const Candidate c = nextCommand(p, tc);
+            soonest = std::min(soonest, std::max(c.earliest, tc));
+            if (c.earliest <= tc) {
+                if (c.isColumn) {
+                    chosen = &p;
+                    chosen_cmd = c;
+                    break; // oldest ready column command wins
+                }
+                if (!chosen) {
+                    chosen = &p;
+                    chosen_cmd = c;
+                }
+            }
+            if (starving)
+                break;
+        }
+
+        if (!chosen) {
+            // No eligible bank command can issue now: let waiting
+            // transfers (even younger ones) use the idle bus, and make
+            // sure the retry strictly advances time.
+            serveBusTransfers(now, kMaxTick);
+            if (soonest != kMaxTick)
+                scheduleKick(std::max(soonest, now + tp_.tCK));
+            return;
+        }
+
+        issueFor(*chosen, chosen_cmd, tc);
+        cmd_bus_free_at_ = tc + tp_.tCK;
+
+        if (chosen_cmd.isColumn) {
+            // Retire the request.
+            for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+                if (&*it == chosen) {
+                    queue_.erase(it);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Bank queue drained: flush any remaining buffer-chip transfers.
+    serveBusTransfers(eq_.now() > now ? eq_.now() : now, kMaxTick);
+}
+
+void
+MemController::scheduleKick(Tick when)
+{
+    if (kick_at_ <= when)
+        return; // an earlier (or equal) kick is already pending
+    kick_at_ = when;
+    const std::uint64_t gen = ++kick_gen_;
+    eq_.schedule(when, [this, gen] {
+        if (gen != kick_gen_)
+            return; // superseded by a more recent schedule
+        kick_at_ = kMaxTick;
+        kick();
+    });
+}
+
+BankAddr
+mapLine(std::uint64_t line, const OrgParams &org)
+{
+    // Bank-group interleave at line granularity: consecutive lines
+    // rotate across bank groups (so streams pace at tCCD_S, not
+    // tCCD_L), wrap back into the same open rows for long streams,
+    // and only cross banks/rows at large strides.
+    BankAddr a;
+    a.bankGroup = static_cast<unsigned>(line % org.bankGroups);
+    line /= org.bankGroups;
+    a.column = static_cast<unsigned>(line % org.columns);
+    line /= org.columns;
+    a.bank = static_cast<unsigned>(line % org.banksPerGroup);
+    line /= org.banksPerGroup;
+    a.row = static_cast<unsigned>(line % org.rows);
+    return a;
+}
+
+} // namespace ansmet::dram

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * FR-FCFS memory controller over one or more ranks sharing a command
+ * bus and a data (DQ) bus.
+ *
+ * Used in two configurations:
+ *  - channel mode: 8 ranks (2 DIMMs x 4) behind one channel bus — the
+ *    host CPU path;
+ *  - rank mode: 1 rank with its own internal bus — the per-rank NDP
+ *    path, which is where DIMM-based NDP gets its bandwidth advantage.
+ */
+
+#ifndef ANSMET_DRAM_CONTROLLER_H
+#define ANSMET_DRAM_CONTROLLER_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "dram/device.h"
+#include "dram/params.h"
+#include "dram/types.h"
+#include "sim/event_queue.h"
+
+namespace ansmet::dram {
+
+/** FR-FCFS, open-page controller. */
+class MemController
+{
+  public:
+    MemController(sim::EventQueue &eq, const TimingParams &tp,
+                  const OrgParams &org, unsigned num_ranks,
+                  std::string name);
+
+    /** Enqueue a 64 B request for @p rank. Completion via callback. */
+    void enqueue(unsigned rank, Request req);
+
+    /**
+     * Enqueue a 64 B transfer that targets the DIMM buffer chip rather
+     * than a DRAM bank (the NDP instruction path: set-query/set-search
+     * writes and poll reads). It occupies the command slot and the DQ
+     * bus for one burst but touches no bank state.
+     */
+    void enqueueBusTransfer(bool is_write, Request::Callback cb);
+
+    /** Number of requests not yet issued their column command. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    RankDevice &rankDevice(unsigned r) { return *ranks_[r]; }
+    const RankDevice &rankDevice(unsigned r) const { return *ranks_[r]; }
+    unsigned numRanks() const { return static_cast<unsigned>(ranks_.size()); }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Ticks during which the data bus carried a burst (utilization). */
+    Tick dataBusBusy() const { return data_bus_busy_; }
+
+  private:
+    struct Pending
+    {
+        unsigned rank;
+        Request req;
+        std::uint64_t order;
+    };
+
+    /** The next command a pending request needs, and when it could go. */
+    struct Candidate
+    {
+        Command cmd;
+        Tick earliest;
+        bool isColumn;
+    };
+
+    Candidate nextCommand(const Pending &p, Tick now) const;
+    void kick();
+    void scheduleKick(Tick when);
+    void issueFor(Pending &p, const Candidate &c, Tick t);
+
+    struct BusTransfer
+    {
+        bool isWrite;
+        Tick arrival;
+        Request::Callback cb;
+    };
+
+    /** Serve pending buffer-chip transfers not younger than @p before.
+     *  @return true if the caller should re-kick later (bus busy). */
+    bool serveBusTransfers(Tick now, Tick before);
+
+    sim::EventQueue &eq_;
+    TimingParams tp_;
+    OrgParams org_;
+    std::vector<std::unique_ptr<RankDevice>> ranks_;
+    std::deque<Pending> queue_;
+    std::deque<BusTransfer> bus_queue_;
+    std::uint64_t next_order_ = 0;
+
+    Tick cmd_bus_free_at_ = 0;
+    Tick data_bus_free_at_ = 0;
+    Tick data_bus_busy_ = 0;
+
+    /**
+     * Earliest pending kick and its generation. Superseded kick events
+     * (older generations) are no-ops when they fire, so at most one
+     * scheduler invocation is ever live per controller.
+     */
+    Tick kick_at_ = kMaxTick;
+    std::uint64_t kick_gen_ = 0;
+
+    /** Age (ticks) past which the oldest request preempts row hits. */
+    Tick starvation_limit_;
+
+    StatGroup stats_;
+};
+
+/**
+ * Map a linear 64 B line index within one rank onto (bank group, bank,
+ * row, column). Consecutive lines fill one row before moving to the
+ * next bank group, so streaming reads are row hits while independent
+ * streams land in different bank groups.
+ */
+BankAddr mapLine(std::uint64_t line, const OrgParams &org);
+
+} // namespace ansmet::dram
+
+#endif // ANSMET_DRAM_CONTROLLER_H

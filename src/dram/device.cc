@@ -1,0 +1,187 @@
+#include "dram/device.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ansmet::dram {
+
+const char *
+commandName(Command c)
+{
+    switch (c) {
+      case Command::kAct: return "ACT";
+      case Command::kPre: return "PRE";
+      case Command::kRd:  return "RD";
+      case Command::kWr:  return "WR";
+      case Command::kRef: return "REF";
+    }
+    return "?";
+}
+
+RankDevice::RankDevice(const TimingParams &tp, const OrgParams &org)
+    : tp_(tp), org_(org), banks_(org.banksPerRank()),
+      nextRefreshAt_(tp.cycles(tp.tREFI))
+{
+}
+
+RankDevice::Bank &
+RankDevice::bank(const BankAddr &a)
+{
+    return banks_[a.flatBank(org_.banksPerGroup)];
+}
+
+const RankDevice::Bank &
+RankDevice::bank(const BankAddr &a) const
+{
+    return banks_[a.flatBank(org_.banksPerGroup)];
+}
+
+void
+RankDevice::catchUpRefresh(Tick now)
+{
+    while (nextRefreshAt_ <= now) {
+        // All-bank refresh: banks close, rank blocks for tRFC.
+        const Tick start = std::max(nextRefreshAt_, refreshBlockedUntil_);
+        const Tick end = start + tp_.cycles(tp_.tRFC);
+        for (auto &b : banks_) {
+            b.openRow.reset();
+            b.actAllowedAt = std::max(b.actAllowedAt, end);
+        }
+        refreshBlockedUntil_ = end;
+        nextRefreshAt_ += tp_.cycles(tp_.tREFI);
+        ++num_refreshes_;
+        if (tracing_)
+            trace_.push_back({Command::kRef, 0, 0, 0, start});
+    }
+}
+
+Tick
+RankDevice::rankActConstraint(unsigned bank_group, Tick now) const
+{
+    Tick t = now;
+    if (anyAct_) {
+        const unsigned rrd =
+            bank_group == lastActBg_ ? tp_.tRRD_L : tp_.tRRD_S;
+        t = std::max(t, lastActAt_ + tp_.cycles(rrd));
+    }
+    if (actWindow_.size() >= 4)
+        t = std::max(t, actWindow_.front() + tp_.cycles(tp_.tFAW));
+    return std::max(t, refreshBlockedUntil_);
+}
+
+Tick
+RankDevice::rankColConstraint(unsigned bank_group, bool is_write,
+                              Tick now) const
+{
+    Tick t = std::max(now, refreshBlockedUntil_);
+    if (anyCol_) {
+        const unsigned ccd =
+            bank_group == lastColBg_ ? tp_.tCCD_L : tp_.tCCD_S;
+        t = std::max(t, lastColAt_ + tp_.cycles(ccd));
+    }
+    if (!is_write)
+        t = std::max(t, writeRecoveryUntil_);
+    return t;
+}
+
+Tick
+RankDevice::earliestAct(const BankAddr &a, Tick now) const
+{
+    const Bank &b = bank(a);
+    ANSMET_ASSERT(!b.openRow, "ACT to a bank with an open row");
+    return std::max(b.actAllowedAt, rankActConstraint(a.bankGroup, now));
+}
+
+Tick
+RankDevice::earliestPre(const BankAddr &a, Tick now) const
+{
+    const Bank &b = bank(a);
+    return std::max({b.preAllowedAt, now, refreshBlockedUntil_});
+}
+
+Tick
+RankDevice::earliestCol(const BankAddr &a, bool is_write, Tick now) const
+{
+    const Bank &b = bank(a);
+    return std::max(b.colAllowedAt,
+                    rankColConstraint(a.bankGroup, is_write, now));
+}
+
+void
+RankDevice::issueAct(const BankAddr &a, Tick t)
+{
+    Bank &b = bank(a);
+    ANSMET_ASSERT(t >= earliestAct(a, t) - 0, "ACT timing violation");
+    b.openRow = a.row;
+    b.colAllowedAt = t + tp_.cycles(tp_.tRCD);
+    b.preAllowedAt = t + tp_.cycles(tp_.tRAS);
+    b.actAllowedAt = t + tp_.cycles(tp_.tRC);
+
+    lastActAt_ = t;
+    lastActBg_ = a.bankGroup;
+    anyAct_ = true;
+    actWindow_.push_back(t);
+    if (actWindow_.size() > 4)
+        actWindow_.pop_front();
+
+    ++num_acts_;
+    record(Command::kAct, a, t);
+}
+
+void
+RankDevice::issuePre(const BankAddr &a, Tick t)
+{
+    Bank &b = bank(a);
+    b.openRow.reset();
+    b.actAllowedAt = std::max(b.actAllowedAt, t + tp_.cycles(tp_.tRP));
+    record(Command::kPre, a, t);
+}
+
+Tick
+RankDevice::issueCol(const BankAddr &a, bool is_write, Tick t)
+{
+    Bank &b = bank(a);
+    ANSMET_ASSERT(b.openRow && *b.openRow == a.row,
+                  "column command to a closed/incorrect row");
+
+    const unsigned latency = is_write ? tp_.tCWL : tp_.tCL;
+    const Tick data_start = t + tp_.cycles(latency);
+    const Tick data_end = data_start + tp_.cycles(tp_.tBL);
+
+    if (is_write) {
+        // Write recovery gates both PRE (tWR) and subsequent reads (tWTR).
+        b.preAllowedAt =
+            std::max(b.preAllowedAt, data_end + tp_.cycles(tp_.tWR));
+        writeRecoveryUntil_ =
+            std::max(writeRecoveryUntil_, data_end + tp_.cycles(tp_.tWTR));
+        ++num_writes_;
+    } else {
+        b.preAllowedAt =
+            std::max(b.preAllowedAt, t + tp_.cycles(tp_.tRTP));
+        ++num_reads_;
+    }
+
+    lastColAt_ = t;
+    lastColBg_ = a.bankGroup;
+    lastColWasWrite_ = is_write;
+    anyCol_ = true;
+
+    record(is_write ? Command::kWr : Command::kRd, a, t);
+    return data_end;
+}
+
+std::optional<unsigned>
+RankDevice::openRow(const BankAddr &a) const
+{
+    return bank(a).openRow;
+}
+
+void
+RankDevice::record(Command c, const BankAddr &a, Tick t)
+{
+    if (tracing_)
+        trace_.push_back({c, a.bankGroup, a.bank, a.row, t});
+}
+
+} // namespace ansmet::dram

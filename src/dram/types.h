@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DRAM request/command vocabulary shared by device and controllers.
+ */
+
+#ifndef ANSMET_DRAM_TYPES_H
+#define ANSMET_DRAM_TYPES_H
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace ansmet::dram {
+
+/** DRAM command set (all-bank refresh only). */
+enum class Command : std::uint8_t { kAct, kPre, kRd, kWr, kRef };
+
+const char *commandName(Command c);
+
+/** Decoded location of a 64 B line inside one rank. */
+struct BankAddr
+{
+    unsigned bankGroup = 0;
+    unsigned bank = 0;
+    unsigned row = 0;
+    unsigned column = 0;
+
+    unsigned
+    flatBank(unsigned banks_per_group) const
+    {
+        return bankGroup * banks_per_group + bank;
+    }
+
+    bool
+    operator==(const BankAddr &o) const
+    {
+        return bankGroup == o.bankGroup && bank == o.bank && row == o.row &&
+               column == o.column;
+    }
+};
+
+/** A 64 B memory request presented to a controller. */
+struct Request
+{
+    using Callback = std::function<void(Tick finish)>;
+
+    BankAddr addr;
+    bool isWrite = false;
+    Tick arrival = 0;
+    Callback onComplete;
+};
+
+} // namespace ansmet::dram
+
+#endif // ANSMET_DRAM_TYPES_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Conservative distance lower bounds from partially known vectors
+ * (Section 4.1 of the paper).
+ *
+ * Each dimension of the search vector is known only as a value
+ * interval (from the fetched key-prefix bits). The accumulator keeps a
+ * per-dimension contribution and a running total:
+ *
+ *  - L2: the minimum of (v - q)^2 over the interval — 0 if q is inside,
+ *    the squared gap to the nearer endpoint otherwise. An unfetched
+ *    dimension contributes 0 (the paper's partial-dimension bound).
+ *  - IP (distance = -sum v*q): the lower bound on distance is minus the
+ *    *maximum* achievable dot contribution; unfetched dimensions fall
+ *    back to the dataset's global value range, which is exactly why
+ *    dimension-only ET is ineffective for IP (the paper's NDP-DimET
+ *    observation) while bit-level prefixes restore tight bounds.
+ *
+ * Narrowing an interval can only tighten (raise) the bound, so updates
+ * are incremental O(1).
+ */
+
+#ifndef ANSMET_ET_BOUNDS_H
+#define ANSMET_ET_BOUNDS_H
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "anns/distance.h"
+#include "et/sortable.h"
+
+namespace ansmet::et {
+
+using anns::Metric;
+
+/** Incremental distance lower-bound accumulator over value intervals. */
+class BoundAccumulator
+{
+  public:
+    /**
+     * @param query full query vector (dims entries)
+     * @param global_range dataset-wide [min, max] element value; only
+     *        used for unfetched dimensions under IP
+     */
+    BoundAccumulator(Metric m, const float *query, unsigned dims,
+                     ValueInterval global_range)
+        : metric_(m), query_(query), dims_(dims), global_(global_range),
+          interval_(dims, global_range), contrib_(dims)
+    {
+        for (unsigned d = 0; d < dims; ++d) {
+            contrib_[d] = contribution(d, interval_[d]);
+            total_ += contrib_[d];
+        }
+    }
+
+    /**
+     * Tighten dimension @p d with interval @p iv. The new knowledge is
+     * intersected with everything already known about the dimension
+     * (including the global range), so the bound only ever tightens —
+     * a short bit prefix can imply a wider raw interval than the
+     * dataset's value range, but the true value is in both.
+     */
+    void
+    update(unsigned d, ValueInterval iv)
+    {
+        ValueInterval &cur = interval_[d];
+        cur.lo = std::max(cur.lo, iv.lo);
+        cur.hi = std::min(cur.hi, iv.hi);
+        const double c = contribution(d, cur);
+        total_ += c - contrib_[d];
+        contrib_[d] = c;
+    }
+
+    /** Current conservative lower bound on the distance. */
+    double
+    lowerBound() const
+    {
+        return metric_ == Metric::kL2 ? total_ : -total_;
+    }
+
+    /**
+     * Contribution of dimension @p d if its value lies in @p iv.
+     * For L2 this is min (v-q)^2; for IP it is max v*q.
+     */
+    double
+    contribution(unsigned d, ValueInterval iv) const
+    {
+        const double q = query_[d];
+        if (metric_ == Metric::kL2) {
+            if (q < iv.lo) {
+                const double gap = iv.lo - q;
+                return gap * gap;
+            }
+            if (q > iv.hi) {
+                const double gap = q - iv.hi;
+                return gap * gap;
+            }
+            return 0.0;
+        }
+        return q >= 0.0 ? iv.hi * q : iv.lo * q;
+    }
+
+  private:
+    Metric metric_;
+    const float *query_;
+    unsigned dims_;
+    ValueInterval global_;
+    std::vector<ValueInterval> interval_;
+    std::vector<double> contrib_;
+    double total_ = 0.0;
+};
+
+/**
+ * Safe termination predicate: trips only when the bound clears the
+ * threshold with a small relative margin, so floating-point summation
+ * order can never reject a vector whose exact distance is (barely)
+ * inside the threshold.
+ */
+inline bool
+boundExceeds(double bound, double threshold)
+{
+    return bound >= threshold + 1e-9 * (1.0 + std::abs(threshold));
+}
+
+} // namespace ansmet::et
+
+#endif // ANSMET_ET_BOUNDS_H

@@ -1,0 +1,191 @@
+#include "et/fetchsim.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ansmet::et {
+
+const char *
+schemeName(EtScheme s)
+{
+    switch (s) {
+      case EtScheme::kNone:      return "None";
+      case EtScheme::kDimOnly:   return "DimET";
+      case EtScheme::kBitSerial: return "BitET";
+      case EtScheme::kHeuristic: return "ET";
+      case EtScheme::kDual:      return "ET+Dual";
+      case EtScheme::kOpt:       return "ETOpt";
+    }
+    return "?";
+}
+
+namespace {
+
+FetchPlanSpec
+planFor(EtScheme s, ScalarType t, unsigned dims, const EtProfile *prof)
+{
+    switch (s) {
+      case EtScheme::kNone:
+      case EtScheme::kDimOnly:
+        return FetchPlanSpec::full(t, dims);
+      case EtScheme::kBitSerial:
+        return FetchPlanSpec::bitSerial(t, dims);
+      case EtScheme::kHeuristic:
+        return FetchPlanSpec::heuristic(t, dims);
+      case EtScheme::kDual: {
+        ANSMET_ASSERT(prof, "kDual needs a profile");
+        const DualParams &dp = prof->dualNoPrefix;
+        return FetchPlanSpec::dual(t, dims, 0, dp.nc, dp.tc, dp.nf);
+      }
+      case EtScheme::kOpt: {
+        ANSMET_ASSERT(prof, "kOpt needs a profile");
+        const DualParams &dp = prof->dualWithPrefix;
+        // The OlElm bitmap is only needed when a prefix is eliminated
+        // (no prefix -> no outliers to flag).
+        return FetchPlanSpec::dual(t, dims, prof->commonPrefix.length,
+                                   dp.nc, dp.tc, dp.nf,
+                                   prof->commonPrefix.length > 0);
+      }
+    }
+    ANSMET_PANIC("unknown scheme");
+}
+
+} // namespace
+
+FetchSimulator::FetchSimulator(const anns::VectorSet &vs,
+                               anns::Metric metric, EtScheme scheme,
+                               const EtProfile *profile)
+    : vs_(vs), metric_(metric), scheme_(scheme), profile_(profile),
+      plan_(planFor(scheme, vs.type(), vs.dims(), profile)),
+      global_range_{-std::numeric_limits<double>::max() / 4,
+                    std::numeric_limits<double>::max() / 4}
+{
+    ANSMET_ASSERT(plan_.valid());
+    if (profile)
+        global_range_ = profile->globalRange;
+    if (scheme == EtScheme::kOpt) {
+        pe_ = std::make_unique<PrefixElimination>(profile->commonPrefix,
+                                                  vs);
+    }
+}
+
+const FetchPlanSpec &
+FetchSimulator::subPlan(unsigned dims) const
+{
+    if (dims == vs_.dims())
+        return plan_;
+    auto it = sub_plans_.find(dims);
+    if (it == sub_plans_.end()) {
+        FetchPlanSpec plan;
+        if ((scheme_ == EtScheme::kDual || scheme_ == EtScheme::kOpt) &&
+            profile_) {
+            // Line packing depends on the sub-vector dimensionality, so
+            // the offline pass re-optimizes (nC, TC, nF) per sub-vector
+            // size rather than inheriting the full-vector parameters.
+            const unsigned prefix = scheme_ == EtScheme::kOpt
+                                        ? profile_->commonPrefix.length
+                                        : 0;
+            const DualParams dp = optimizeDual(
+                profile_->etPositions, keyBits(vs_.type()), prefix, dims);
+            plan = FetchPlanSpec::dual(vs_.type(), dims, prefix, dp.nc,
+                                       dp.tc, dp.nf,
+                                       scheme_ == EtScheme::kOpt &&
+                                           prefix > 0);
+        } else {
+            plan = planFor(scheme_, vs_.type(), dims, profile_);
+        }
+        it = sub_plans_.emplace(dims, std::move(plan)).first;
+    }
+    return it->second;
+}
+
+FetchResult
+FetchSimulator::simulate(const float *query, VectorId v,
+                         double threshold) const
+{
+    return simulateRange(query, v, threshold, 0, vs_.dims());
+}
+
+FetchResult
+FetchSimulator::simulateRange(const float *query, VectorId v,
+                              double threshold, unsigned dim_begin,
+                              unsigned dim_end) const
+{
+    ANSMET_ASSERT(dim_begin < dim_end && dim_end <= vs_.dims());
+    const FetchPlanSpec &plan = subPlan(dim_end - dim_begin);
+
+    FetchResult res;
+    res.exactDist = anns::distance(metric_, query, vs_, v);
+    res.accepted = res.exactDist < threshold;
+
+    const unsigned w = keyBits(vs_.type());
+
+    if (!checksBounds()) {
+        // Plain full fetch of the sub-vector.
+        res.lines = plan.totalLines();
+        res.estimate = res.exactDist;
+        return res;
+    }
+
+    // The local bound covers only this rank's dims; all others keep
+    // their conservative initial contribution.
+    BoundAccumulator acc(metric_, query, vs_.dims(), global_range_);
+    FetchCursor cursor(plan);
+
+    // The eliminated common prefix is known on-chip before any fetch
+    // for normal vectors; outlier vectors reveal nothing up front.
+    const bool is_outlier = pe_ && pe_->vectorIsOutlier(v);
+    if (pe_ && !is_outlier && plan.prefixLen > 0) {
+        for (unsigned d = dim_begin; d < dim_end; ++d) {
+            const std::uint32_t key = toKey(vs_.type(), vs_.bitsAt(v, d));
+            acc.update(d, intervalFromPrefix(vs_.type(),
+                                             key >> (w - plan.prefixLen),
+                                             plan.prefixLen));
+        }
+    }
+
+    while (!cursor.done()) {
+        const LineInfo info = cursor.next();
+        ++res.lines;
+
+        for (unsigned sd = info.dimBegin; sd < info.dimEnd; ++sd) {
+            const unsigned d = dim_begin + sd;
+            unsigned known = info.knownBitsAfter;
+            if (pe_) {
+                const unsigned fetched =
+                    info.knownBitsAfter - plan.prefixLen;
+                known = pe_->knownLen(v, d, fetched);
+            }
+            if (known == 0)
+                continue;
+            const std::uint32_t key = toKey(vs_.type(), vs_.bitsAt(v, d));
+            acc.update(d, intervalFromPrefix(vs_.type(), key >> (w - known),
+                                             known));
+        }
+
+        if (boundExceeds(acc.lowerBound(), threshold)) {
+            res.terminatedEarly = true;
+            res.estimate = acc.lowerBound();
+            ANSMET_ASSERT(!res.accepted,
+                          "early termination rejected an accepted vector");
+            return res;
+        }
+    }
+
+    res.estimate = acc.lowerBound();
+
+    // In-bound result on an outlier vector: the dropped low bits make
+    // the estimate inexact, so re-check this rank's share of the
+    // uncompressed backup copy.
+    if (is_outlier) {
+        res.backupLines = static_cast<unsigned>(
+            divCeil(static_cast<std::uint64_t>(dim_end - dim_begin) *
+                        keyBits(vs_.type()),
+                    512));
+    }
+
+    return res;
+}
+
+} // namespace ansmet::et

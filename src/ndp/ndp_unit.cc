@@ -1,0 +1,107 @@
+#include "ndp/ndp_unit.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace ansmet::ndp {
+
+NdpUnit::NdpUnit(sim::EventQueue &eq, const NdpParams &np,
+                 const dram::TimingParams &tp, const dram::OrgParams &org,
+                 unsigned unit_id)
+    : eq_(eq), np_(np),
+      ctrl_(std::make_unique<dram::MemController>(
+          eq, tp, org, 1, "ndp_rank" + std::to_string(unit_id))),
+      org_(org),
+      qshrs_(np.numQshrs),
+      id_(unit_id)
+{
+}
+
+void
+NdpUnit::submit(unsigned qshr, NdpTask task)
+{
+    ANSMET_ASSERT(qshr < qshrs_.size(), "bad QSHR id");
+    QshrState &q = qshrs_[qshr];
+    q.fifo.push_back(std::move(task));
+    if (!q.active)
+        startNext(qshr);
+}
+
+void
+NdpUnit::startNext(unsigned qshr)
+{
+    QshrState &q = qshrs_[qshr];
+    if (q.fifo.empty()) {
+        q.active = false;
+        return;
+    }
+    q.active = true;
+    const NdpTask &t = q.fifo.front();
+    q.linesToIssue = std::max(1u, t.lines);
+    q.linesInFlight = 0;
+    q.nextLine = t.startLine;
+    // QSHR lookup + command generation latency before the first fetch.
+    eq_.scheduleIn(
+        static_cast<Tick>(np_.qshrLookupCycles) * np_.period(),
+        [this, qshr] { issueWindow(qshr); });
+}
+
+void
+NdpUnit::issueWindow(unsigned qshr)
+{
+    QshrState &q = qshrs_[qshr];
+    while (q.linesToIssue > 0 &&
+           q.linesInFlight < np_.fetchPipelineDepth) {
+        dram::Request req;
+        req.addr = dram::mapLine(q.nextLine, org_);
+        req.isWrite = false;
+        req.onComplete = [this, qshr](Tick when) {
+            lineArrived(qshr, when);
+        };
+        ++q.nextLine;
+        --q.linesToIssue;
+        ++q.linesInFlight;
+        ++lines_fetched_;
+        ctrl_->enqueue(0, std::move(req));
+    }
+}
+
+void
+NdpUnit::lineArrived(unsigned qshr, Tick when)
+{
+    QshrState &q = qshrs_[qshr];
+    ANSMET_ASSERT(q.active && q.linesInFlight > 0);
+    --q.linesInFlight;
+
+    // The distance computing unit consumes the line, plus one cycle
+    // for the bound comparison; the comparison gates further issue.
+    const NdpTask &t = q.fifo.front();
+    const std::uint64_t cycles =
+        std::max(1u, t.computeCyclesPerLine) + 1;
+    const Tick start = std::max(when, compute_free_at_);
+    const Tick end = start + cycles * np_.period();
+    compute_free_at_ = end;
+    compute_busy_ += end - start;
+
+    if (q.linesToIssue > 0) {
+        eq_.schedule(end, [this, qshr] { issueWindow(qshr); });
+        return;
+    }
+    if (q.linesInFlight > 0)
+        return; // wait for the stragglers
+
+    // Task complete at the end of the final bound/distance computation.
+    eq_.schedule(end, [this, qshr, end] {
+        QshrState &qs = qshrs_[qshr];
+        NdpTask done = std::move(qs.fifo.front());
+        qs.fifo.pop_front();
+        ++tasks_completed_;
+        if (done.onComplete)
+            done.onComplete(end);
+        startNext(qshr);
+    });
+}
+
+} // namespace ansmet::ndp

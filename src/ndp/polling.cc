@@ -1,0 +1,16 @@
+#include "ndp/polling.h"
+
+namespace ansmet::ndp {
+
+const char *
+pollingModeName(PollingMode m)
+{
+    switch (m) {
+      case PollingMode::kConventional: return "ConvPoll";
+      case PollingMode::kAdaptive:     return "AdaptPoll";
+      case PollingMode::kIdeal:        return "IdealPoll";
+    }
+    return "?";
+}
+
+} // namespace ansmet::ndp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Result polling policies (Section 5.4 of the paper).
+ *
+ * The host cannot know when an NDP task finishes: early termination
+ * makes latency data dependent. Conventional polling probes a QSHR on
+ * a fixed interval, paying channel bandwidth and discovery delay.
+ * ANSMET's adaptive polling predicts the completion time from the
+ * fetch-count distribution measured during sampling preprocessing and
+ * probes just-in-time, re-probing on a short backoff if the prediction
+ * was early. An ideal (zero-cost notification) mode bounds what any
+ * policy could achieve (Figure 9's comparison).
+ */
+
+#ifndef ANSMET_NDP_POLLING_H
+#define ANSMET_NDP_POLLING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ansmet::ndp {
+
+enum class PollingMode : std::uint8_t
+{
+    kConventional, //!< fixed-interval probing (100 ns in the paper)
+    kAdaptive,     //!< sampled-distribution prediction
+    kIdeal,        //!< zero-cost completion notification (upper bound)
+};
+
+const char *pollingModeName(PollingMode m);
+
+/** Polling policy configuration. */
+struct PollingParams
+{
+    PollingMode mode = PollingMode::kAdaptive;
+    Tick conventionalInterval = 100 * kTicksPerNs;
+    /** Backoff between re-probes after an early adaptive poll. */
+    Tick adaptiveBackoff = 25 * kTicksPerNs;
+};
+
+/**
+ * Predicts NDP batch completion latency from the preprocessing
+ * fetch-count distribution.
+ */
+class PollingEstimator
+{
+  public:
+    /**
+     * @param fetch_dist P(task fetches i lines), from EtProfile
+     * @param per_line the average rank-local latency of one 64 B fetch
+     * @param fixed fixed per-task overhead (QSHR lookup + compute)
+     */
+    PollingEstimator(const std::vector<double> &fetch_dist, Tick per_line,
+                     Tick fixed)
+        : per_line_(per_line), fixed_(fixed)
+    {
+        double e = 0.0;
+        for (std::size_t i = 0; i < fetch_dist.size(); ++i)
+            e += fetch_dist[i] * static_cast<double>(i);
+        expected_lines_ = e;
+    }
+
+    /** Expected completion of @p tasks sequential tasks on one QSHR. */
+    Tick
+    expectedLatency(std::size_t tasks) const
+    {
+        const double per_task =
+            expected_lines_ * static_cast<double>(per_line_) +
+            static_cast<double>(fixed_);
+        return static_cast<Tick>(per_task * static_cast<double>(tasks));
+    }
+
+    double expectedLines() const { return expected_lines_; }
+
+  private:
+    Tick per_line_;
+    Tick fixed_;
+    double expected_lines_ = 0.0;
+};
+
+} // namespace ansmet::ndp
+
+#endif // ANSMET_NDP_POLLING_H

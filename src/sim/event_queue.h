@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * Time is measured in ticks (picoseconds). Components schedule
+ * callbacks at absolute ticks; the queue executes them in (tick,
+ * priority, insertion-order) order, which makes runs fully
+ * deterministic.
+ */
+
+#ifndef ANSMET_SIM_EVENT_QUEUE_H
+#define ANSMET_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace ansmet::sim {
+
+/** Event priority: lower values run first within the same tick. */
+using Priority = int;
+
+constexpr Priority kDefaultPriority = 0;
+
+/** Central event queue driving a simulation. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Schedule @p cb at absolute time @p when (>= now).
+     * @return a handle usable with deschedule().
+     */
+    std::uint64_t
+    schedule(Tick when, Callback cb, Priority prio = kDefaultPriority)
+    {
+        ANSMET_ASSERT(when >= now_, "scheduling in the past: ", when,
+                      " < ", now_);
+        const std::uint64_t id = next_id_++;
+        heap_.push(Entry{when, prio, id, std::move(cb)});
+        return id;
+    }
+
+    /** Schedule @p delta ticks from now. */
+    std::uint64_t
+    scheduleIn(Tick delta, Callback cb, Priority prio = kDefaultPriority)
+    {
+        return schedule(now_ + delta, std::move(cb), prio);
+    }
+
+    /** Cancel a pending event by handle (lazy deletion). */
+    void deschedule(std::uint64_t id) { cancelled_.push_back(id); }
+
+    /** Run until the queue is empty or @p limit is reached. */
+    void
+    run(Tick limit = kMaxTick)
+    {
+        std::uint64_t processed = 0;
+        while (!heap_.empty()) {
+            const Entry &top = heap_.top();
+            if (top.when > limit)
+                break;
+            if (isCancelled(top.id)) {
+                heap_.pop();
+                continue;
+            }
+            ANSMET_ASSERT(top.when >= now_);
+            now_ = top.when;
+            Callback cb = std::move(top.cb);
+            heap_.pop();
+            cb();
+            if (((++processed) & ((1u << 24) - 1)) == 0 && debug_) {
+                std::fprintf(stderr,
+                             "[eq] %llu events, now=%llu ps, pending=%zu\n",
+                             static_cast<unsigned long long>(processed),
+                             static_cast<unsigned long long>(now_),
+                             heap_.size());
+                if (debug_hook_)
+                    debug_hook_();
+            }
+        }
+    }
+
+    /** Enable periodic progress logging (debug aid). */
+    void setDebug(bool on) { debug_ = on; }
+
+    /** Extra state dumper invoked with the periodic debug line. */
+    void setDebugHook(std::function<void()> hook) { debug_hook_ = std::move(hook); }
+
+    /** Execute exactly one event; returns false if none pending. */
+    bool
+    step()
+    {
+        while (!heap_.empty() && isCancelled(heap_.top().id))
+            heap_.pop();
+        if (heap_.empty())
+            return false;
+        const Entry &top = heap_.top();
+        now_ = top.when;
+        Callback cb = std::move(top.cb);
+        heap_.pop();
+        cb();
+        return true;
+    }
+
+    /** Reset to an empty queue at time zero. */
+    void
+    reset()
+    {
+        heap_ = {};
+        cancelled_.clear();
+        now_ = 0;
+        next_id_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        Priority prio;
+        std::uint64_t id;
+        mutable Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return id > o.id;
+        }
+    };
+
+    bool
+    isCancelled(std::uint64_t id)
+    {
+        for (auto it = cancelled_.begin(); it != cancelled_.end(); ++it) {
+            if (*it == id) {
+                cancelled_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::vector<std::uint64_t> cancelled_;
+    Tick now_ = 0;
+    std::uint64_t next_id_ = 0;
+    bool debug_ = false;
+    std::function<void()> debug_hook_;
+};
+
+/**
+ * Base class for components that operate on a fixed clock. Provides
+ * cycle<->tick conversion helpers relative to the component's period.
+ */
+class Clocked
+{
+  public:
+    Clocked(EventQueue &eq, Tick period) : eq_(eq), period_(period)
+    {
+        ANSMET_ASSERT(period > 0);
+    }
+
+    virtual ~Clocked() = default;
+
+    Tick period() const { return period_; }
+    Tick now() const { return eq_.now(); }
+
+    /** The tick of the next clock edge at or after now. */
+    Tick
+    nextEdge() const
+    {
+        const Tick t = eq_.now();
+        return roundUpTick(t);
+    }
+
+    /** Convert a cycle count to ticks. */
+    Tick cyclesToTicks(std::uint64_t cycles) const { return cycles * period_; }
+
+    /** Convert ticks to whole cycles (rounding up). */
+    std::uint64_t
+    ticksToCycles(Tick t) const
+    {
+        return (t + period_ - 1) / period_;
+    }
+
+    EventQueue &eventQueue() { return eq_; }
+
+  protected:
+    Tick
+    roundUpTick(Tick t) const
+    {
+        return (t + period_ - 1) / period_ * period_;
+    }
+
+  private:
+    EventQueue &eq_;
+    Tick period_;
+};
+
+} // namespace ansmet::sim
+
+#endif // ANSMET_SIM_EVENT_QUEUE_H

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Property tests for the distance lower bounds: the bound must never
+ * exceed the true distance for any prefix configuration (that is the
+ * entire no-accuracy-loss guarantee), and must tighten monotonically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "anns/vector.h"
+#include "common/prng.h"
+#include "et/bounds.h"
+
+namespace ansmet::et {
+namespace {
+
+using anns::Metric;
+using anns::ScalarType;
+using anns::VectorSet;
+
+struct Case
+{
+    Metric metric;
+    ScalarType type;
+};
+
+class BoundsTest : public ::testing::TestWithParam<Case>
+{
+  protected:
+    static constexpr unsigned kDims = 24;
+
+    void
+    fill(VectorSet &vs, Prng &rng) const
+    {
+        for (std::size_t v = 0; v < vs.size(); ++v) {
+            for (unsigned d = 0; d < vs.dims(); ++d) {
+                float x;
+                switch (vs.type()) {
+                  case ScalarType::kUint8:
+                    x = static_cast<float>(rng.below(256));
+                    break;
+                  case ScalarType::kInt8:
+                    x = static_cast<float>(
+                            static_cast<int>(rng.below(256))) -
+                        128.0f;
+                    break;
+                  default:
+                    x = static_cast<float>(rng.uniform(-2.0, 2.0));
+                }
+                vs.set(static_cast<VectorId>(v), d, x);
+            }
+        }
+    }
+
+    ValueInterval
+    rangeOf(const VectorSet &vs) const
+    {
+        double lo = vs.at(0, 0), hi = lo;
+        for (std::size_t v = 0; v < vs.size(); ++v) {
+            for (unsigned d = 0; d < vs.dims(); ++d) {
+                lo = std::min(lo, static_cast<double>(vs.at(
+                                      static_cast<VectorId>(v), d)));
+                hi = std::max(hi, static_cast<double>(vs.at(
+                                      static_cast<VectorId>(v), d)));
+            }
+        }
+        return {lo, hi};
+    }
+};
+
+TEST_P(BoundsTest, NeverExceedsTrueDistance)
+{
+    const auto [metric, type] = GetParam();
+    Prng rng(42);
+    VectorSet vs(32, kDims, type);
+    fill(vs, rng);
+    const ValueInterval global = rangeOf(vs);
+    const unsigned w = keyBits(type);
+
+    for (unsigned trial = 0; trial < 64; ++trial) {
+        const auto target = static_cast<VectorId>(rng.below(vs.size()));
+        const auto qsrc = static_cast<VectorId>(rng.below(vs.size()));
+        std::vector<float> q = vs.toFloat(qsrc);
+
+        const double true_dist =
+            anns::distance(metric, q.data(), vs, target);
+
+        BoundAccumulator acc(metric, q.data(), kDims, global);
+        EXPECT_LE(acc.lowerBound(), true_dist + 1e-9)
+            << "initial bound too tight";
+
+        // Reveal prefixes dimension by dimension in random order with
+        // random lengths, checking the invariant at every point.
+        double prev = acc.lowerBound();
+        for (unsigned step = 0; step < kDims * 2; ++step) {
+            const unsigned d = static_cast<unsigned>(rng.below(kDims));
+            const unsigned len =
+                1 + static_cast<unsigned>(rng.below(w));
+            const std::uint32_t key = toKey(type, vs.bitsAt(target, d));
+            acc.update(d, intervalFromPrefix(type, key >> (w - len), len));
+
+            const double b = acc.lowerBound();
+            EXPECT_LE(b, true_dist + 1e-9)
+                << "bound exceeded true distance";
+            (void)prev;
+            prev = b;
+        }
+    }
+}
+
+TEST_P(BoundsTest, FullPrefixesReachTrueDistance)
+{
+    const auto [metric, type] = GetParam();
+    Prng rng(43);
+    VectorSet vs(8, kDims, type);
+    fill(vs, rng);
+    const ValueInterval global = rangeOf(vs);
+    const unsigned w = keyBits(type);
+
+    for (unsigned v = 0; v < vs.size(); ++v) {
+        std::vector<float> q = vs.toFloat(
+            static_cast<VectorId>((v + 1) % vs.size()));
+        BoundAccumulator acc(metric, q.data(), kDims, global);
+        for (unsigned d = 0; d < kDims; ++d) {
+            const std::uint32_t key =
+                toKey(type, vs.bitsAt(static_cast<VectorId>(v), d));
+            acc.update(d, intervalFromPrefix(type, key, w));
+        }
+        const double true_dist = anns::distance(
+            metric, q.data(), vs, static_cast<VectorId>(v));
+        const double tol =
+            1e-6 * (1.0 + std::abs(true_dist));
+        EXPECT_NEAR(acc.lowerBound(), true_dist, tol);
+    }
+}
+
+TEST_P(BoundsTest, TighteningIsMonotone)
+{
+    const auto [metric, type] = GetParam();
+    Prng rng(44);
+    VectorSet vs(4, kDims, type);
+    fill(vs, rng);
+    const ValueInterval global = rangeOf(vs);
+    const unsigned w = keyBits(type);
+
+    std::vector<float> q = vs.toFloat(0);
+    BoundAccumulator acc(metric, q.data(), kDims, global);
+    double prev = acc.lowerBound();
+    // Deepen every dim simultaneously, one bit at a time.
+    for (unsigned len = 1; len <= w; ++len) {
+        for (unsigned d = 0; d < kDims; ++d) {
+            const std::uint32_t key = toKey(type, vs.bitsAt(1, d));
+            acc.update(d, intervalFromPrefix(type, key >> (w - len), len));
+        }
+        EXPECT_GE(acc.lowerBound(), prev - 1e-12)
+            << "bound regressed at len " << len;
+        prev = acc.lowerBound();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricsAndTypes, BoundsTest,
+    ::testing::Values(Case{Metric::kL2, ScalarType::kUint8},
+                      Case{Metric::kL2, ScalarType::kInt8},
+                      Case{Metric::kL2, ScalarType::kFp32},
+                      Case{Metric::kL2, ScalarType::kFp16},
+                      Case{Metric::kIp, ScalarType::kFp32},
+                      Case{Metric::kIp, ScalarType::kInt8}),
+    [](const auto &info) {
+        return std::string(anns::metricName(info.param.metric)) + "_" +
+               anns::scalarName(info.param.type);
+    });
+
+TEST(Bounds, PaperPartialDimensionExample)
+{
+    // Section 4: partial vector (1, 2, x2, x3) against query
+    // (4, -2, 6, -1): the L2 lower bound is sqrt((4-1)^2 + (-2-2)^2)=5,
+    // i.e. 25 in squared space.
+    VectorSet vs(1, 4, ScalarType::kFp32);
+    vs.set(0, 0, 1.0f);
+    vs.set(0, 1, 2.0f);
+    vs.set(0, 2, 6.0f);  // xs happen to match the bound-minimizing vals
+    vs.set(0, 3, -1.0f);
+    const float q[4] = {4.0f, -2.0f, 6.0f, -1.0f};
+
+    BoundAccumulator acc(Metric::kL2, q, 4, {-100.0, 100.0});
+    const unsigned w = keyBits(ScalarType::kFp32);
+    for (unsigned d = 0; d < 2; ++d) {
+        const std::uint32_t key =
+            toKey(ScalarType::kFp32, vs.bitsAt(0, d));
+        acc.update(d, intervalFromPrefix(ScalarType::kFp32, key, w));
+    }
+    EXPECT_DOUBLE_EQ(acc.lowerBound(), 25.0);
+}
+
+} // namespace
+} // namespace ansmet::et

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for common utilities: bit operations, PRNG, stats,
+ * tables, and the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/prng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/event_queue.h"
+
+namespace ansmet {
+namespace {
+
+TEST(Bitops, MaskLow)
+{
+    EXPECT_EQ(maskLow(0), 0u);
+    EXPECT_EQ(maskLow(1), 1u);
+    EXPECT_EQ(maskLow(8), 0xffu);
+    EXPECT_EQ(maskLow(32), 0xffffffffu);
+    EXPECT_EQ(maskLow(64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, ExtractMsbFirst)
+{
+    // value = 0b1011'0010, width 8
+    const std::uint64_t v = 0xB2;
+    EXPECT_EQ(extractMsbFirst(v, 8, 0, 4), 0xBu);
+    EXPECT_EQ(extractMsbFirst(v, 8, 4, 4), 0x2u);
+    EXPECT_EQ(extractMsbFirst(v, 8, 0, 8), 0xB2u);
+    EXPECT_EQ(extractMsbFirst(v, 8, 2, 3), 0x6u); // bits 110
+}
+
+TEST(Bitops, RoundAndDiv)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+}
+
+TEST(Bitops, BitsFor)
+{
+    EXPECT_EQ(bitsFor(0), 1u);
+    EXPECT_EQ(bitsFor(1), 1u);
+    EXPECT_EQ(bitsFor(2), 2u);
+    EXPECT_EQ(bitsFor(7), 3u);
+    EXPECT_EQ(bitsFor(8), 4u);
+}
+
+TEST(Bitops, WriterReaderRoundTrip)
+{
+    std::vector<std::uint8_t> buf;
+    BitWriter w(buf);
+    w.put(0b101, 3);
+    w.put(0xAB, 8);
+    w.put(1, 1);
+    w.put(0x3FFFF, 18);
+    const auto len = w.bitLength();
+    EXPECT_EQ(len, 30u);
+
+    BitReader r(buf.data(), len);
+    EXPECT_EQ(r.get(3), 0b101u);
+    EXPECT_EQ(r.get(8), 0xABu);
+    EXPECT_EQ(r.get(1), 1u);
+    EXPECT_EQ(r.get(18), 0x3FFFFu);
+}
+
+TEST(Bitops, WriterAlign)
+{
+    std::vector<std::uint8_t> buf;
+    BitWriter w(buf);
+    w.put(1, 1);
+    w.align(512);
+    EXPECT_EQ(w.bitLength(), 512u);
+    EXPECT_EQ(buf.size(), 64u);
+}
+
+TEST(Prng, Deterministic)
+{
+    Prng a(123), b(123), c(124);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Prng, UniformRange)
+{
+    Prng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(rng.below(17), 17u);
+    }
+}
+
+TEST(Prng, GaussianMoments)
+{
+    Prng rng(11);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Prng, ZipfSkew)
+{
+    Prng rng(5);
+    std::size_t low = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        if (rng.zipf(1000, 2.0) < 10)
+            ++low;
+    // With alpha=2 most of the mass is on the first few values.
+    EXPECT_GT(low, static_cast<std::size_t>(n) / 2);
+}
+
+TEST(Stats, ScalarStat)
+{
+    ScalarStat s;
+    s.sample(1.0);
+    s.sample(3.0);
+    s.sample(5.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, Histogram)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(-1.0);
+    h.sample(0.0);
+    h.sample(5.5);
+    h.sample(10.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Stats, GroupRegistry)
+{
+    StatGroup g("test");
+    ++g.counter("a");
+    g.counter("a") += 2;
+    EXPECT_EQ(g.counter("a").value(), 3u);
+    g.reset();
+    EXPECT_EQ(g.counter("a").value(), 0u);
+}
+
+TEST(Table, Renders)
+{
+    TextTable t({"name", "value"});
+    t.row().cell("alpha").cell(1.5, 1);
+    t.row().cell("b").cell(std::uint64_t{42});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(EventQueue, OrdersByTime)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickPriorityAndFifo)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); }, 1);
+    eq.schedule(10, [&] { order.push_back(1); }, 0);
+    eq.schedule(10, [&] { order.push_back(3); }, 1);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduledDuringRun)
+{
+    sim::EventQueue eq;
+    int hits = 0;
+    eq.schedule(5, [&] {
+        ++hits;
+        eq.scheduleIn(5, [&] { ++hits; });
+    });
+    eq.run();
+    EXPECT_EQ(hits, 2);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, Deschedule)
+{
+    sim::EventQueue eq;
+    int hits = 0;
+    const auto id = eq.schedule(5, [&] { ++hits; });
+    eq.deschedule(id);
+    eq.schedule(6, [&] { ++hits; });
+    eq.run();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(EventQueue, RunLimit)
+{
+    sim::EventQueue eq;
+    int hits = 0;
+    eq.schedule(5, [&] { ++hits; });
+    eq.schedule(50, [&] { ++hits; });
+    eq.run(10);
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(Clocked, Conversions)
+{
+    sim::EventQueue eq;
+    sim::Clocked c(eq, 416);
+    EXPECT_EQ(c.cyclesToTicks(10), 4160u);
+    EXPECT_EQ(c.ticksToCycles(4160), 10u);
+    EXPECT_EQ(c.ticksToCycles(4161), 11u);
+}
+
+} // namespace
+} // namespace ansmet

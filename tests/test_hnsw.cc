@@ -1,0 +1,207 @@
+/**
+ * @file
+ * HNSW index tests: structural invariants, search quality against
+ * brute force, observer/trace behavior, serialization, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "anns/bruteforce.h"
+#include "anns/dataset.h"
+#include "anns/hnsw.h"
+#include "core/trace.h"
+
+namespace ansmet::anns {
+namespace {
+
+const Dataset &
+sift()
+{
+    static const Dataset ds = makeDataset(DatasetId::kSift, 2000, 30, 1);
+    return ds;
+}
+
+const HnswIndex &
+siftIndex()
+{
+    static const HnswIndex idx(*sift().base, Metric::kL2,
+                               HnswParams{16, 100, 42});
+    return idx;
+}
+
+TEST(Hnsw, DegreesRespectCaps)
+{
+    const auto &idx = siftIndex();
+    const HnswParams params{16, 100, 42};
+    for (VectorId v = 0; v < 2000; ++v) {
+        for (unsigned l = 0; l <= idx.levelOf(v); ++l) {
+            EXPECT_LE(idx.neighbors(v, l).size(), params.maxDegree(l))
+                << "v=" << v << " level=" << l;
+        }
+    }
+}
+
+TEST(Hnsw, NeighborsAreValidAndDistinctFromSelf)
+{
+    const auto &idx = siftIndex();
+    for (VectorId v = 0; v < 2000; ++v) {
+        for (unsigned l = 0; l <= idx.levelOf(v); ++l) {
+            for (const VectorId nb : idx.neighbors(v, l)) {
+                EXPECT_LT(nb, 2000u);
+                EXPECT_NE(nb, v);
+                // The neighbor must exist at this level too.
+                EXPECT_GE(idx.levelOf(nb), l);
+            }
+        }
+    }
+}
+
+TEST(Hnsw, UpperLayersShrink)
+{
+    const auto &idx = siftIndex();
+    std::size_t prev = idx.verticesAtLevel(0).size();
+    EXPECT_EQ(prev, 2000u);
+    for (unsigned l = 1; l <= idx.maxLevel(); ++l) {
+        const std::size_t count = idx.verticesAtLevel(l).size();
+        EXPECT_LE(count, prev);
+        prev = count;
+    }
+    EXPECT_GE(idx.levelOf(idx.entryPoint()), idx.maxLevel());
+}
+
+TEST(Hnsw, RecallBeatsTarget)
+{
+    const auto &ds = sift();
+    const auto &idx = siftIndex();
+    const auto gt = bruteForceAll(Metric::kL2, ds.queries, *ds.base, 10);
+
+    double total = 0.0;
+    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+        const auto ids = idx.search(ds.queries[q].data(), 10, 100);
+        total += recallAtK(ids, gt[q], 10);
+    }
+    EXPECT_GE(total / static_cast<double>(ds.queries.size()), 0.85);
+}
+
+TEST(Hnsw, LargerEfImprovesRecall)
+{
+    const auto &ds = sift();
+    const auto &idx = siftIndex();
+    const auto gt = bruteForceAll(Metric::kL2, ds.queries, *ds.base, 10);
+
+    auto recall_at = [&](std::size_t ef) {
+        double total = 0.0;
+        for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+            total += recallAtK(idx.search(ds.queries[q].data(), 10, ef),
+                               gt[q], 10);
+        }
+        return total / static_cast<double>(ds.queries.size());
+    };
+    EXPECT_GE(recall_at(200) + 1e-9, recall_at(10));
+}
+
+TEST(Hnsw, ResultsSortedByDistance)
+{
+    const auto &ds = sift();
+    const auto &idx = siftIndex();
+    const auto &q = ds.queries[0];
+    const auto ids = idx.search(q.data(), 10, 64);
+    ASSERT_GE(ids.size(), 2u);
+    double prev = -1.0;
+    for (const VectorId id : ids) {
+        const double d = distance(Metric::kL2, q.data(), *ds.base, id);
+        EXPECT_GE(d, prev);
+        prev = d;
+    }
+}
+
+TEST(Hnsw, DeterministicAcrossBuilds)
+{
+    const auto &ds = sift();
+    const HnswIndex a(*ds.base, Metric::kL2, HnswParams{8, 50, 7});
+    const HnswIndex b(*ds.base, Metric::kL2, HnswParams{8, 50, 7});
+    EXPECT_EQ(a.entryPoint(), b.entryPoint());
+    EXPECT_EQ(a.maxLevel(), b.maxLevel());
+    for (VectorId v = 0; v < 2000; v += 97)
+        EXPECT_EQ(a.neighbors(v, 0), b.neighbors(v, 0));
+}
+
+TEST(Hnsw, SaveLoadRoundTrip)
+{
+    const auto &ds = sift();
+    const auto &idx = siftIndex();
+
+    std::stringstream ss;
+    idx.save(ss);
+    const HnswIndex loaded =
+        HnswIndex::load(ss, *ds.base, Metric::kL2, HnswParams{16, 100, 42});
+
+    EXPECT_EQ(loaded.entryPoint(), idx.entryPoint());
+    EXPECT_EQ(loaded.maxLevel(), idx.maxLevel());
+    for (VectorId v = 0; v < 2000; v += 31) {
+        ASSERT_EQ(loaded.levelOf(v), idx.levelOf(v));
+        for (unsigned l = 0; l <= idx.levelOf(v); ++l)
+            EXPECT_EQ(loaded.neighbors(v, l), idx.neighbors(v, l));
+    }
+
+    // Same search behavior.
+    const auto &q = ds.queries[0];
+    EXPECT_EQ(loaded.search(q.data(), 10, 64), idx.search(q.data(), 10, 64));
+}
+
+TEST(Hnsw, TraceMatchesSearch)
+{
+    const auto &ds = sift();
+    const auto &idx = siftIndex();
+
+    const auto trace =
+        core::traceHnswQuery(idx, ds.queries[1], 10, 64);
+    EXPECT_EQ(trace.result, idx.search(ds.queries[1].data(), 10, 64));
+    EXPECT_GT(trace.steps.size(), 1u);
+    EXPECT_GT(trace.numComparisons(), 10u);
+    EXPECT_GE(trace.numComparisons(), trace.numAccepted());
+
+    // Every recorded comparison must be exact and self-consistent.
+    for (const auto &step : trace.steps) {
+        for (const auto &t : step.tasks) {
+            const double d = distance(Metric::kL2, ds.queries[1].data(),
+                                      *ds.base, t.vec);
+            EXPECT_DOUBLE_EQ(d, t.dist);
+            EXPECT_EQ(t.accepted, t.dist < t.threshold);
+        }
+    }
+}
+
+TEST(Hnsw, MostComparisonsAreRejectedOnConvergedSearch)
+{
+    // Figure 1's observation: 50%+ of comparisons are beyond the
+    // threshold once the result set converges.
+    const auto &ds = sift();
+    const auto &idx = siftIndex();
+    std::size_t total = 0, accepted = 0;
+    for (const auto &q : ds.queries) {
+        const auto trace = core::traceHnswQuery(idx, q, 10, 128);
+        total += trace.numComparisons();
+        accepted += trace.numAccepted();
+    }
+    EXPECT_LT(static_cast<double>(accepted),
+              0.6 * static_cast<double>(total));
+}
+
+TEST(Hnsw, IpMetricSearchWorks)
+{
+    const auto ds = makeDataset(DatasetId::kGlove, 1500, 10, 3);
+    const HnswIndex idx(*ds.base, Metric::kIp, HnswParams{16, 100, 42});
+    const auto gt = bruteForceAll(Metric::kIp, ds.queries, *ds.base, 10);
+    double total = 0.0;
+    for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+        total += recallAtK(idx.search(ds.queries[q].data(), 10, 128),
+                           gt[q], 10);
+    }
+    EXPECT_GE(total / static_cast<double>(ds.queries.size()), 0.7);
+}
+
+} // namespace
+} // namespace ansmet::anns

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * IVF index tests: k-means partition invariants, nprobe search
+ * quality, and trace/observer behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anns/bruteforce.h"
+#include "anns/dataset.h"
+#include "anns/ivf.h"
+#include "core/trace.h"
+
+namespace ansmet::anns {
+namespace {
+
+const Dataset &
+sift()
+{
+    static const Dataset ds = makeDataset(DatasetId::kSift, 2000, 20, 2);
+    return ds;
+}
+
+const IvfIndex &
+siftIvf()
+{
+    static const IvfIndex idx(*sift().base, Metric::kL2,
+                              IvfParams{64, 8, 42});
+    return idx;
+}
+
+TEST(Ivf, ListsPartitionTheDataset)
+{
+    const auto &idx = siftIvf();
+    std::set<VectorId> seen;
+    std::size_t total = 0;
+    for (unsigned c = 0; c < idx.numClusters(); ++c) {
+        for (const VectorId v : idx.list(c)) {
+            EXPECT_TRUE(seen.insert(v).second) << "duplicate member " << v;
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, 2000u);
+}
+
+TEST(Ivf, MembersAreClosestToTheirCentroidAmongAll)
+{
+    const auto &idx = siftIvf();
+    const auto &vs = *sift().base;
+    // Spot-check: members are assigned to their nearest centroid.
+    for (unsigned c = 0; c < idx.numClusters(); c += 7) {
+        for (std::size_t i = 0; i < idx.list(c).size(); i += 13) {
+            const VectorId v = idx.list(c)[i];
+            const auto vec = vs.toFloat(v);
+            const double own =
+                l2Sq(vec.data(), idx.centroid(c).data(), vs.dims());
+            for (unsigned o = 0; o < idx.numClusters(); ++o) {
+                const double other =
+                    l2Sq(vec.data(), idx.centroid(o).data(), vs.dims());
+                EXPECT_GE(other + 1e-6, own)
+                    << "vector " << v << " misassigned";
+            }
+        }
+    }
+}
+
+TEST(Ivf, RecallGrowsWithNprobe)
+{
+    const auto &ds = sift();
+    const auto &idx = siftIvf();
+    const auto gt = bruteForceAll(Metric::kL2, ds.queries, *ds.base, 10);
+
+    auto recall_at = [&](unsigned nprobe) {
+        double total = 0.0;
+        for (std::size_t q = 0; q < ds.queries.size(); ++q) {
+            total += recallAtK(
+                idx.search(ds.queries[q].data(), 10, nprobe), gt[q], 10);
+        }
+        return total / static_cast<double>(ds.queries.size());
+    };
+
+    const double r1 = recall_at(1);
+    const double r8 = recall_at(8);
+    const double rall = recall_at(idx.numClusters());
+    EXPECT_LE(r1, r8 + 1e-9);
+    EXPECT_GE(r8, 0.5);
+    EXPECT_NEAR(rall, 1.0, 1e-9) << "probing all clusters must be exact";
+}
+
+TEST(Ivf, TraceContainsCentroidAndClusterSteps)
+{
+    const auto &ds = sift();
+    const auto &idx = siftIvf();
+    const auto trace = core::traceIvfQuery(idx, ds.queries[0], 10, 4);
+
+    ASSERT_FALSE(trace.steps.empty());
+    EXPECT_EQ(trace.steps[0].kind, StepKind::kCentroidScan);
+    std::set<std::uint64_t> clusters;
+    std::size_t chunk_comparisons = 0;
+    for (std::size_t s = 1; s < trace.steps.size(); ++s) {
+        EXPECT_EQ(trace.steps[s].kind, StepKind::kClusterScan);
+        // One set-search instruction carries at most 8 tasks.
+        EXPECT_LE(trace.steps[s].tasks.size(), 8u);
+        clusters.insert(trace.steps[s].ident);
+        chunk_comparisons += trace.steps[s].tasks.size();
+    }
+    EXPECT_EQ(clusters.size(), 4u); // nprobe distinct clusters
+    EXPECT_EQ(chunk_comparisons, trace.numComparisons());
+    EXPECT_EQ(trace.result, idx.search(ds.queries[0].data(), 10, 4));
+}
+
+TEST(Ivf, HighRejectionRateOnClusterScans)
+{
+    // Figure 1: IVF rejects most scanned vectors.
+    const auto &ds = sift();
+    const auto &idx = siftIvf();
+    std::size_t total = 0, accepted = 0;
+    for (const auto &q : ds.queries) {
+        const auto trace = core::traceIvfQuery(idx, q, 10, 8);
+        total += trace.numComparisons();
+        accepted += trace.numAccepted();
+    }
+    EXPECT_LT(accepted * 2, total);
+}
+
+TEST(Ivf, DefaultClusterCountIsSqrtN)
+{
+    const auto &ds = sift();
+    const IvfIndex idx(*ds.base, Metric::kL2, IvfParams{0, 3, 1});
+    EXPECT_NEAR(static_cast<double>(idx.numClusters()),
+                std::sqrt(2000.0), 2.0);
+}
+
+} // namespace
+} // namespace ansmet::anns

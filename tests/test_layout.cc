@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Bit-plane layout tests: plan construction rules (the paper's
+ * m_i = |64*8/n_i| packing), cursor coverage, and the physical
+ * transform/restore round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "anns/vector.h"
+#include "common/prng.h"
+#include "et/layout.h"
+
+namespace ansmet::et {
+namespace {
+
+using anns::ScalarType;
+using anns::VectorSet;
+
+TEST(FetchPlan, FullPlanMatchesOriginalLayout)
+{
+    const auto plan = FetchPlanSpec::full(ScalarType::kFp32, 128);
+    EXPECT_TRUE(plan.valid());
+    EXPECT_EQ(plan.levels(), 1u);
+    EXPECT_EQ(plan.elemsPerLine(0), 16u);   // 512 / 32
+    EXPECT_EQ(plan.linesInLevel(0), 8u);    // 128 / 16
+    EXPECT_EQ(plan.totalLines(), 8u);       // = 128 * 4 B / 64 B
+}
+
+TEST(FetchPlan, HeuristicChunks)
+{
+    const auto ints = FetchPlanSpec::heuristic(ScalarType::kUint8, 100);
+    EXPECT_TRUE(ints.valid());
+    EXPECT_EQ(ints.levels(), 2u); // 8 bits in 4-bit chunks
+    EXPECT_EQ(ints.steps[0], 4u);
+
+    const auto floats = FetchPlanSpec::heuristic(ScalarType::kFp32, 100);
+    EXPECT_TRUE(floats.valid());
+    EXPECT_EQ(floats.levels(), 4u); // 32 bits in 8-bit chunks
+}
+
+TEST(FetchPlan, BitSerial)
+{
+    const auto plan = FetchPlanSpec::bitSerial(ScalarType::kUint8, 128);
+    EXPECT_TRUE(plan.valid());
+    EXPECT_EQ(plan.levels(), 8u);
+    // 128 1-bit elements use only 128 of 512 bits: 1 line per level,
+    // 75% wasted — the paper's SIFT BitET observation.
+    EXPECT_EQ(plan.elemsPerLine(0), 512u);
+    EXPECT_EQ(plan.linesInLevel(0), 1u);
+    EXPECT_EQ(plan.totalLines(), 8u);
+}
+
+TEST(FetchPlan, DualGranularity)
+{
+    // fp32, prefix 6 eliminated, 2 coarse steps of 8, then fine 2s.
+    const auto plan =
+        FetchPlanSpec::dual(ScalarType::kFp32, 96, 6, 8, 2, 2);
+    EXPECT_TRUE(plan.valid());
+    EXPECT_EQ(plan.prefixLen, 6u);
+    EXPECT_EQ(plan.steps[0], 8u);
+    EXPECT_EQ(plan.steps[1], 8u);
+    EXPECT_EQ(plan.steps[2], 2u);
+    unsigned sum = 0;
+    for (const auto s : plan.steps)
+        sum += s;
+    EXPECT_EQ(sum + plan.prefixLen, 32u);
+}
+
+TEST(FetchPlan, PaperPaddingExample)
+{
+    // "a 64 B chunk may contain the next highest 9 bits from 56
+    //  dimensions, with 8 padding bits at the end"
+    FetchPlanSpec plan{ScalarType::kFp32, 56, 0, {9, 23}, false};
+    EXPECT_TRUE(plan.valid());
+    EXPECT_EQ(plan.elemsPerLine(0), 56u);
+    EXPECT_EQ(plan.linesInLevel(0), 1u);
+}
+
+TEST(FetchPlan, MetaBitmapCostsOneBitPerElement)
+{
+    FetchPlanSpec plain{ScalarType::kFp32, 64, 24, {8}, false};
+    FetchPlanSpec meta{ScalarType::kFp32, 64, 24, {8}, true};
+    EXPECT_EQ(plain.elemsPerLine(0), 64u);
+    EXPECT_EQ(meta.elemsPerLine(0), 56u); // 512 / 9
+}
+
+TEST(FetchCursor, CoversEveryDimEveryLevel)
+{
+    const auto plan = FetchPlanSpec::heuristic(ScalarType::kFp32, 100);
+    FetchCursor cursor(plan);
+    std::vector<unsigned> seen(plan.dims, 0);
+    unsigned lines = 0;
+    while (!cursor.done()) {
+        const LineInfo info = cursor.next();
+        ++lines;
+        EXPECT_LE(info.dimEnd, plan.dims);
+        for (unsigned d = info.dimBegin; d < info.dimEnd; ++d)
+            ++seen[d];
+    }
+    EXPECT_EQ(lines, plan.totalLines());
+    for (const unsigned s : seen)
+        EXPECT_EQ(s, plan.levels());
+}
+
+TEST(FetchCursor, KnownBitsProgress)
+{
+    const auto plan =
+        FetchPlanSpec::dual(ScalarType::kFp32, 32, 4, 8, 2, 4);
+    FetchCursor cursor(plan);
+    unsigned prev = plan.prefixLen;
+    while (!cursor.done()) {
+        const LineInfo info = cursor.next();
+        EXPECT_GE(info.knownBitsAfter, prev);
+        prev = info.knownBitsAfter;
+    }
+    EXPECT_EQ(prev, 32u);
+}
+
+class TransformTest : public ::testing::TestWithParam<ScalarType>
+{
+};
+
+TEST_P(TransformTest, RoundTripsThroughBitPlanes)
+{
+    const ScalarType t = GetParam();
+    const unsigned dims = 37; // deliberately not a multiple of anything
+    VectorSet vs(4, dims, t);
+    Prng rng(5);
+    for (unsigned v = 0; v < 4; ++v)
+        for (unsigned d = 0; d < dims; ++d)
+            vs.set(v, d, static_cast<float>(rng.uniform(-100, 100)));
+
+    for (const auto &plan :
+         {FetchPlanSpec::full(t, dims), FetchPlanSpec::heuristic(t, dims),
+          FetchPlanSpec::bitSerial(t, dims)}) {
+        for (unsigned v = 0; v < 4; ++v) {
+            const auto buf = transformVector(plan, vs, v);
+            EXPECT_EQ(buf.size(), plan.totalLines() * 64u);
+            const auto keys = restoreKeys(plan, buf.data());
+            for (unsigned d = 0; d < dims; ++d) {
+                EXPECT_EQ(keys[d], toKey(t, vs.bitsAt(v, d)))
+                    << "v=" << v << " d=" << d;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, TransformTest,
+                         ::testing::Values(ScalarType::kUint8,
+                                           ScalarType::kInt8,
+                                           ScalarType::kFp16,
+                                           ScalarType::kFp32),
+                         [](const auto &info) {
+                             return anns::scalarName(info.param);
+                         });
+
+TEST(Transform, PrefixEliminationRoundTrip)
+{
+    // All elements share a 4-bit key prefix; transform drops it.
+    const ScalarType t = ScalarType::kUint8;
+    const unsigned dims = 16;
+    VectorSet vs(1, dims, t);
+    for (unsigned d = 0; d < dims; ++d)
+        vs.set(0, d, static_cast<float>(0xA0 + d)); // keys 0xA0..0xAF
+
+    FetchPlanSpec plan{t, dims, 4, {4}, false};
+    ASSERT_TRUE(plan.valid());
+    const auto buf = transformVector(plan, vs, 0);
+    const auto keys = restoreKeys(plan, buf.data(), 0xA);
+    for (unsigned d = 0; d < dims; ++d)
+        EXPECT_EQ(keys[d], toKey(t, vs.bitsAt(0, d)));
+}
+
+} // namespace
+} // namespace ansmet::et

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * NDP unit tests: task timing, QSHR ordering and parallelism,
+ * instruction helpers, and the polling estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/host.h"
+#include "ndp/instr.h"
+#include "ndp/ndp_unit.h"
+#include "ndp/polling.h"
+
+namespace ansmet::ndp {
+namespace {
+
+dram::OrgParams
+smallOrg()
+{
+    dram::OrgParams org;
+    org.channels = 1;
+    org.dimmsPerChannel = 1;
+    org.ranksPerDimm = 1;
+    return org;
+}
+
+TEST(Instr, SetQueryWriteCounts)
+{
+    EXPECT_EQ(setQueryWrites(1), 1u);
+    EXPECT_EQ(setQueryWrites(64), 1u);
+    EXPECT_EQ(setQueryWrites(65), 2u);
+    EXPECT_EQ(setQueryWrites(1024), 16u);
+}
+
+TEST(NdpUnit, SingleTaskLatency)
+{
+    sim::EventQueue eq;
+    const dram::TimingParams tp;
+    NdpUnit unit(eq, NdpParams{}, tp, smallOrg(), 0);
+
+    Tick done = 0;
+    NdpTask t;
+    t.startLine = 0;
+    t.lines = 1;
+    t.onComplete = [&](Tick when) { done = when; };
+    unit.submit(0, std::move(t));
+    eq.run();
+
+    // Lookup + closed-page read + compute (2 cycles + bound check).
+    const NdpParams np;
+    const Tick expect = np.period() * np.qshrLookupCycles +
+                        tp.cycles(tp.tRCD + tp.tCL + tp.tBL) +
+                        np.period() * 3;
+    EXPECT_EQ(done, expect);
+    EXPECT_EQ(unit.linesFetched(), 1u);
+    EXPECT_EQ(unit.tasksCompleted(), 1u);
+}
+
+TEST(NdpUnit, TasksOnOneQshrSerialize)
+{
+    sim::EventQueue eq;
+    const dram::TimingParams tp;
+    NdpUnit unit(eq, NdpParams{}, tp, smallOrg(), 0);
+
+    std::vector<Tick> done;
+    for (int i = 0; i < 3; ++i) {
+        NdpTask t;
+        t.startLine = static_cast<std::uint64_t>(i) * 100;
+        t.lines = 2;
+        t.onComplete = [&](Tick when) { done.push_back(when); };
+        unit.submit(0, std::move(t));
+    }
+    eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_LT(done[0], done[1]);
+    EXPECT_LT(done[1], done[2]);
+    // Serial execution: the second and third tasks take at least one
+    // full fetch pipeline each after the first.
+    EXPECT_GE(done[1] - done[0], tp.cycles(tp.tBL));
+}
+
+TEST(NdpUnit, QshrsOverlap)
+{
+    const dram::TimingParams tp;
+
+    auto run_with_qshrs = [&](bool spread) {
+        sim::EventQueue eq;
+        NdpUnit unit(eq, NdpParams{}, tp, smallOrg(), 0);
+        for (int i = 0; i < 8; ++i) {
+            NdpTask t;
+            // Different rows in different banks: parallelizable.
+            t.startLine = static_cast<std::uint64_t>(i) * 4096;
+            t.lines = 4;
+            unit.submit(spread ? static_cast<unsigned>(i) : 0,
+                        std::move(t));
+        }
+        eq.run();
+        return eq.now();
+    };
+
+    EXPECT_LT(run_with_qshrs(true), run_with_qshrs(false));
+}
+
+TEST(NdpUnit, EarlyTerminationFetchesFewerLines)
+{
+    sim::EventQueue eq;
+    const dram::TimingParams tp;
+    NdpUnit unit(eq, NdpParams{}, tp, smallOrg(), 0);
+
+    NdpTask full;
+    full.lines = 8;
+    unit.submit(0, std::move(full));
+    eq.run();
+    const Tick t_full = eq.now();
+    EXPECT_EQ(unit.linesFetched(), 8u);
+
+    sim::EventQueue eq2;
+    NdpUnit unit2(eq2, NdpParams{}, tp, smallOrg(), 0);
+    NdpTask et;
+    et.lines = 2; // terminated after 2 fetches
+    unit2.submit(0, std::move(et));
+    eq2.run();
+    EXPECT_LT(eq2.now(), t_full);
+    EXPECT_EQ(unit2.linesFetched(), 2u);
+}
+
+TEST(PollingEstimator, ExpectationFromDistribution)
+{
+    // 50% of tasks fetch 1 line, 50% fetch 3.
+    const std::vector<double> dist = {0.0, 0.5, 0.0, 0.5};
+    PollingEstimator est(dist, 100, 10);
+    EXPECT_DOUBLE_EQ(est.expectedLines(), 2.0);
+    EXPECT_EQ(est.expectedLatency(1), 210u);
+    EXPECT_EQ(est.expectedLatency(4), 840u);
+}
+
+TEST(Polling, ModeNames)
+{
+    EXPECT_STREQ(pollingModeName(PollingMode::kConventional), "ConvPoll");
+    EXPECT_STREQ(pollingModeName(PollingMode::kAdaptive), "AdaptPoll");
+    EXPECT_STREQ(pollingModeName(PollingMode::kIdeal), "IdealPoll");
+}
+
+TEST(HostCpu, ComputeAdvancesTime)
+{
+    sim::EventQueue eq;
+    cpu::HostParams hp;
+    dram::TimingParams tp;
+    dram::OrgParams org;
+    cpu::HostCpu host(eq, hp, tp, org);
+
+    Tick done = 0;
+    host.compute(100, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 100 * hp.period());
+    EXPECT_EQ(host.computeBusy(), 100 * hp.period());
+}
+
+TEST(HostCpu, CachedReadsAreFasterThanMisses)
+{
+    sim::EventQueue eq;
+    cpu::HostParams hp;
+    dram::TimingParams tp;
+    dram::OrgParams org;
+    cpu::HostCpu host(eq, hp, tp, org);
+
+    Tick first = 0, second = 0;
+    host.read(0x1000, 1, [&] {
+        first = eq.now();
+        host.read(0x1000, 1, [&] { second = eq.now(); });
+    });
+    eq.run();
+    EXPECT_GT(first, 0u);
+    EXPECT_LT(second - first, first);
+}
+
+TEST(HostCpu, MultiLineReadsOverlap)
+{
+    dram::TimingParams tp;
+    dram::OrgParams org;
+
+    auto span_for = [&](unsigned lines) {
+        sim::EventQueue eq;
+        cpu::HostParams hp;
+        cpu::HostCpu host(eq, hp, tp, org);
+        Tick done = 0;
+        host.read(1 << 20, lines, [&] { done = eq.now(); });
+        eq.run();
+        return done;
+    };
+
+    // 8 parallel line fetches must take far less than 8 serial ones.
+    EXPECT_LT(span_for(8), 4 * span_for(1));
+}
+
+TEST(HostCpu, UncachedTransfersComplete)
+{
+    sim::EventQueue eq;
+    cpu::HostParams hp;
+    dram::TimingParams tp;
+    dram::OrgParams org;
+    cpu::HostCpu host(eq, hp, tp, org);
+
+    int done = 0;
+    host.writeUncached(0, 0, [&] { ++done; });
+    host.readUncached(1, 64, [&] { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 2);
+}
+
+} // namespace
+} // namespace ansmet::ndp

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Common-prefix elimination tests: prefix discovery under outlier
+ * budgets, outlier classification, the progressive knownLen model, and
+ * space accounting (Table 5's quantities).
+ */
+
+#include <gtest/gtest.h>
+
+#include "anns/vector.h"
+#include "common/prng.h"
+#include "et/prefix.h"
+
+namespace ansmet::et {
+namespace {
+
+using anns::ScalarType;
+using anns::VectorSet;
+
+TEST(FindCommonPrefix, ExactSharedPrefix)
+{
+    // All keys share the top 4 bits 0b1010.
+    std::vector<std::uint32_t> keys;
+    for (unsigned i = 0; i < 16; ++i)
+        keys.push_back(0xA0u | i);
+    const CommonPrefix cp =
+        findCommonPrefix(ScalarType::kUint8, keys, 0.0);
+    EXPECT_EQ(cp.length, 4u);
+    EXPECT_EQ(cp.bits, 0xAu);
+}
+
+TEST(FindCommonPrefix, OutlierBudgetExtendsPrefix)
+{
+    // 95 keys share 6 bits; 5 share only 2.
+    std::vector<std::uint32_t> keys;
+    for (unsigned i = 0; i < 95; ++i)
+        keys.push_back(0xA8u | (i & 3)); // 101010xx
+    for (unsigned i = 0; i < 5; ++i)
+        keys.push_back(0x90u | i);       // 1001xxxx
+
+    const CommonPrefix strict =
+        findCommonPrefix(ScalarType::kUint8, keys, 0.0);
+    EXPECT_EQ(strict.length, 2u); // only "10" is fully common
+
+    const CommonPrefix loose =
+        findCommonPrefix(ScalarType::kUint8, keys, 0.06);
+    EXPECT_EQ(loose.length, 6u);
+    EXPECT_EQ(loose.bits, 0x2Au); // 101010
+}
+
+TEST(FindCommonPrefix, NeverConsumesAllBits)
+{
+    std::vector<std::uint32_t> keys(10, 0x55u); // identical keys
+    const CommonPrefix cp =
+        findCommonPrefix(ScalarType::kUint8, keys, 0.0);
+    EXPECT_LT(cp.length, 8u);
+}
+
+class PrefixElimFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        vs_ = std::make_unique<VectorSet>(8, 4, ScalarType::kUint8);
+        // Vectors 0..6: all elements have keys 0xA0 | x (match 0b1010).
+        for (unsigned v = 0; v < 7; ++v)
+            for (unsigned d = 0; d < 4; ++d)
+                vs_->set(v, d, static_cast<float>(0xA0 + v + d));
+        // Vector 7: one mismatching element (0x50).
+        for (unsigned d = 0; d < 4; ++d)
+            vs_->set(7, d, static_cast<float>(d == 2 ? 0x50 : 0xA1));
+
+        cp_ = CommonPrefix{ScalarType::kUint8, 4, 0xA};
+        pe_ = std::make_unique<PrefixElimination>(cp_, *vs_);
+    }
+
+    std::unique_ptr<VectorSet> vs_;
+    CommonPrefix cp_;
+    std::unique_ptr<PrefixElimination> pe_;
+};
+
+TEST_F(PrefixElimFixture, ClassifiesOutliers)
+{
+    for (unsigned v = 0; v < 7; ++v)
+        EXPECT_FALSE(pe_->vectorIsOutlier(v)) << v;
+    EXPECT_TRUE(pe_->vectorIsOutlier(7));
+    EXPECT_EQ(pe_->numOutlierVectors(), 1u);
+    EXPECT_EQ(pe_->numOutlierElements(), 1u);
+}
+
+TEST_F(PrefixElimFixture, NormalVectorKnownLen)
+{
+    // P = 4; every fetched storage bit extends the prefix.
+    EXPECT_EQ(pe_->knownLen(0, 0, 0), 4u);
+    EXPECT_EQ(pe_->knownLen(0, 0, 2), 6u);
+    EXPECT_EQ(pe_->knownLen(0, 0, 4), 8u);
+    EXPECT_EQ(pe_->maxKnownLen(0, 0), 8u);
+}
+
+TEST_F(PrefixElimFixture, OutlierVectorLosesBudgetBits)
+{
+    // Vector 7 is an outlier vector; its *normal* elements spend one
+    // bit on the OlElm flag.
+    EXPECT_EQ(pe_->knownLen(7, 0, 0), 0u);
+    EXPECT_EQ(pe_->knownLen(7, 0, 1), 4u);
+    EXPECT_EQ(pe_->knownLen(7, 0, 4), 7u);
+    EXPECT_LT(pe_->maxKnownLen(7, 0), 8u);
+}
+
+TEST_F(PrefixElimFixture, OutlierElementPartialRecovery)
+{
+    // Element (7, 2) has key 0x50 = 0101'0000; matches only "0" bits?
+    // Common prefix is 1010: the key starts 0101 -> matchLen 0.
+    // metaBits = bitsFor(3) = 2. Budget = 4 storage bits:
+    // 1 OlElm + 2 matchLen + 1 payload bit => maxKnownLen = 1.
+    EXPECT_EQ(pe_->knownLen(7, 2, 0), 0u);
+    EXPECT_EQ(pe_->knownLen(7, 2, 1), 0u);  // field incomplete
+    EXPECT_EQ(pe_->knownLen(7, 2, 3), 0u);  // field just complete, ml=0
+    EXPECT_EQ(pe_->knownLen(7, 2, 4), 1u);
+    EXPECT_EQ(pe_->maxKnownLen(7, 2), 1u);
+}
+
+TEST_F(PrefixElimFixture, KnownLenIsMonotone)
+{
+    for (unsigned v = 0; v < 8; ++v) {
+        for (unsigned d = 0; d < 4; ++d) {
+            unsigned prev = 0;
+            for (unsigned f = 0; f <= 4; ++f) {
+                const unsigned k = pe_->knownLen(v, d, f);
+                EXPECT_GE(k, prev);
+                EXPECT_LE(k, pe_->maxKnownLen(v, d));
+                prev = k;
+            }
+        }
+    }
+}
+
+TEST_F(PrefixElimFixture, SpaceAccounting)
+{
+    // Saved: P*D - (D+1) = 16 - 5 = 11 bits of 32 per vector.
+    EXPECT_NEAR(pe_->spaceSavedFraction(), 11.0 / 32.0, 1e-9);
+    // One of eight vectors needs a backup copy.
+    EXPECT_NEAR(pe_->extraSpaceFraction(), 1.0 / 8.0, 1e-9);
+}
+
+TEST(PrefixElimination, RandomizedKnownLenSoundness)
+{
+    // For arbitrary data, the bits claimed known must actually match
+    // the element's true key prefix (soundness of the decoder model).
+    Prng rng(77);
+    VectorSet vs(64, 8, ScalarType::kFp32);
+    for (unsigned v = 0; v < 64; ++v)
+        for (unsigned d = 0; d < 8; ++d)
+            vs.set(v, d, static_cast<float>(rng.uniform(0.01, 0.3)));
+
+    std::vector<std::uint32_t> keys;
+    for (unsigned v = 0; v < 64; ++v)
+        for (unsigned d = 0; d < 8; ++d)
+            keys.push_back(toKey(ScalarType::kFp32, vs.bitsAt(v, d)));
+
+    const CommonPrefix cp =
+        findCommonPrefix(ScalarType::kFp32, keys, 0.01);
+    EXPECT_GT(cp.length, 0u) << "narrow-range fp32 must share a prefix";
+
+    PrefixElimination pe(cp, vs);
+    for (unsigned v = 0; v < 64; ++v) {
+        for (unsigned d = 0; d < 8; ++d) {
+            const std::uint32_t key =
+                toKey(ScalarType::kFp32, vs.bitsAt(v, d));
+            for (unsigned f = 0; f <= 32 - cp.length; f += 3) {
+                const unsigned known = pe.knownLen(v, d, f);
+                ASSERT_LE(known, 32u);
+                if (known == 0 || pe.vectorIsOutlier(v))
+                    continue;
+                // Normal vectors: claimed prefix must equal the true
+                // top bits extended from the common prefix.
+                const std::uint32_t claimed_prefix = key >> (32 - known);
+                EXPECT_EQ(claimed_prefix >> (known - cp.length),
+                          cp.bits >> 0);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ansmet::et

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Sampling-based preprocessing tests: threshold percentiles, entropy
+ * and ET-frequency profiles (Figure 3's shapes), the dual-granularity
+ * cost model and optimizer, and KL divergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "anns/dataset.h"
+#include "et/profile.h"
+
+namespace ansmet::et {
+namespace {
+
+using anns::DatasetId;
+
+TEST(AccessCost, CoarseOnlyRange)
+{
+    // W=32, no prefix, nc=8 x tc=4 covers everything; nf unused.
+    const DualParams dp{8, 4, 4};
+    // 64 dims at 8 bits -> 512 bits/line -> 1 line per step.
+    EXPECT_EQ(accessCostLines(1, 32, 0, 64, dp), 1u);
+    EXPECT_EQ(accessCostLines(8, 32, 0, 64, dp), 1u);
+    EXPECT_EQ(accessCostLines(9, 32, 0, 64, dp), 2u);
+    EXPECT_EQ(accessCostLines(32, 32, 0, 64, dp), 4u);
+    // Never terminated: full fetch.
+    EXPECT_EQ(accessCostLines(33, 32, 0, 64, dp), 4u);
+}
+
+TEST(AccessCost, FineRangeAfterCoarse)
+{
+    // nc=8 x tc=2, then nf=2 for the rest (16 bits).
+    const DualParams dp{8, 2, 2};
+    const unsigned dims = 64;
+    // Terminating at bit 17 needs 2 coarse + 1 fine step.
+    // Coarse lines/step: 64 dims @ 8 bits = 1; fine: 64 @ 2 bits = 1.
+    EXPECT_EQ(accessCostLines(17, 32, 0, dims, dp), 3u);
+    EXPECT_EQ(accessCostLines(18, 32, 0, dims, dp), 3u);
+    EXPECT_EQ(accessCostLines(19, 32, 0, dims, dp), 4u);
+}
+
+TEST(AccessCost, PrefixShiftsPositions)
+{
+    const DualParams dp{8, 4, 4};
+    // pET inside the eliminated prefix still costs one step.
+    EXPECT_EQ(accessCostLines(3, 32, 6, 64, dp),
+              accessCostLines(7, 32, 6, 64, dp));
+    EXPECT_GT(accessCostLines(20, 32, 0, 64, dp),
+              accessCostLines(20, 32, 6, 64, dp));
+}
+
+TEST(AccessCost, HighDimDatasetsNeedMultipleLinesPerStep)
+{
+    const DualParams dp{8, 4, 4};
+    // 960 dims at 8 bits = 15 lines per coarse step.
+    EXPECT_EQ(accessCostLines(8, 32, 0, 960, dp), 15u);
+    EXPECT_EQ(accessCostLines(16, 32, 0, 960, dp), 30u);
+}
+
+TEST(OptimizeDual, PrefersCoarseWhenTerminationIsLate)
+{
+    // Every pair terminates deep (bit 24 of 32): fine early steps
+    // would waste fetches, so the optimizer should cover the first ~24
+    // bits with coarse steps.
+    std::vector<unsigned> positions(100, 24);
+    const DualParams dp = optimizeDual(positions, 32, 0, 64);
+    const unsigned coarse_covered = dp.nc * dp.tc;
+    EXPECT_GE(coarse_covered + dp.nf, 24u);
+    // Optimal cost: with 64 dims, 8-bit steps pack one line each, so
+    // bit 24 is reachable in 3 lines and nothing can do better than
+    // ceil(24 * 64 / 512) = 3.
+    EXPECT_LE(accessCostLines(24, 32, 0, 64, dp), 3u);
+}
+
+TEST(OptimizeDual, PrefersFineWhenTerminationIsEarlyAndSpread)
+{
+    // Terminations spread over bits 2..9: small steps win.
+    std::vector<unsigned> positions;
+    for (unsigned i = 0; i < 100; ++i)
+        positions.push_back(2 + i % 8);
+    const DualParams dp = optimizeDual(positions, 32, 0, 64);
+
+    // The chosen plan must beat a naive uniform-8 plan on cost.
+    const DualParams naive{8, 4, 8};
+    std::uint64_t chosen = 0, base = 0;
+    for (const unsigned p : positions) {
+        chosen += accessCostLines(p, 32, 0, 64, dp);
+        base += accessCostLines(p, 32, 0, 64, naive);
+    }
+    EXPECT_LE(chosen, base);
+}
+
+TEST(OptimizeDual, RespectsPrefixBudget)
+{
+    std::vector<unsigned> positions(50, 12);
+    const DualParams dp = optimizeDual(positions, 32, 26, 64);
+    EXPECT_LE(dp.nc, 6u); // only 6 payload bits exist
+}
+
+TEST(KlDivergence, BasicProperties)
+{
+    const std::vector<double> p = {0.5, 0.3, 0.2};
+    const std::vector<double> q = {0.1, 0.3, 0.6};
+    EXPECT_NEAR(klDivergence(p, p), 0.0, 1e-9);
+    EXPECT_GT(klDivergence(p, q), 0.0);
+    // Asymmetric in general.
+    EXPECT_NE(klDivergence(p, q), klDivergence(q, p));
+}
+
+class ProfileTest : public ::testing::Test
+{
+  protected:
+    static const EtProfile &
+    deepProfile()
+    {
+        static const EtProfile prof = [] {
+            const auto ds = anns::makeDataset(DatasetId::kDeep, 2000, 10, 1);
+            ProfileConfig cfg;
+            cfg.maxPairs = 1000;
+            return buildProfile(*ds.base, ds.metric(), cfg);
+        }();
+        return prof;
+    }
+};
+
+TEST_F(ProfileTest, ThresholdIsLowPercentile)
+{
+    const auto &prof = deepProfile();
+    EXPECT_GT(prof.threshold, 0.0);
+    // DEEP vectors are unit norm: squared distances lie in [0, 4];
+    // the 10th percentile must sit well below the maximum.
+    EXPECT_LT(prof.threshold, 2.0);
+}
+
+TEST_F(ProfileTest, EntropyLowAtTopBitsHighInMiddle)
+{
+    const auto &prof = deepProfile();
+    ASSERT_EQ(prof.prefixEntropy.size(), 32u);
+    // The paper's low-entropy range: mostly-positive normalized fp32
+    // shares sign+exponent prefixes.
+    const double head = prof.prefixEntropy[2];
+    const double mid = prof.prefixEntropy[11];
+    EXPECT_LT(head, mid);
+    // Entropy is non-decreasing in prefix length by definition.
+    for (std::size_t i = 1; i < prof.prefixEntropy.size(); ++i)
+        EXPECT_GE(prof.prefixEntropy[i], prof.prefixEntropy[i - 1] - 1e-9);
+}
+
+TEST_F(ProfileTest, EtFrequencyConcentratedInMiddleBits)
+{
+    const auto &prof = deepProfile();
+    double head = 0.0, middle = 0.0;
+    for (unsigned l = 0; l < 4; ++l)
+        head += prof.etFrequency[l];
+    for (unsigned l = 4; l < 20; ++l)
+        middle += prof.etFrequency[l];
+    EXPECT_GT(middle, head);
+    const double total =
+        std::accumulate(prof.etFrequency.begin(), prof.etFrequency.end(),
+                        0.0);
+    EXPECT_LE(total, 1.0 + 1e-9);
+    EXPECT_GT(total, 0.3) << "most pairs should early-terminate";
+}
+
+TEST_F(ProfileTest, CommonPrefixFound)
+{
+    const auto &prof = deepProfile();
+    EXPECT_GT(prof.commonPrefix.length, 0u);
+    EXPECT_LT(prof.commonPrefix.length, 32u);
+}
+
+TEST_F(ProfileTest, FetchDistributionIsNormalized)
+{
+    const auto &prof = deepProfile();
+    const double total = std::accumulate(prof.fetchCountDist.begin(),
+                                         prof.fetchCountDist.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GT(prof.expectedFetchLines(), 0.0);
+}
+
+TEST(Profile, SamplingConvergence)
+{
+    // More samples -> lower KL divergence to a high-sample reference
+    // (the Figure 11(a) experiment in miniature).
+    const auto ds = anns::makeDataset(DatasetId::kDeep, 3000, 10, 2);
+
+    auto freq = [&](std::size_t samples, std::uint64_t seed) {
+        ProfileConfig cfg;
+        cfg.numSamples = samples;
+        cfg.maxPairs = 2000;
+        cfg.seed = seed;
+        return buildProfile(*ds.base, ds.metric(), cfg).etFrequency;
+    };
+
+    const auto ref = freq(120, 99);
+    const double kl_small = klDivergence(freq(5, 7), ref);
+    const double kl_large = klDivergence(freq(80, 7), ref);
+    EXPECT_LT(kl_large, kl_small);
+}
+
+} // namespace
+} // namespace ansmet::et
