@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_prefix_stats.dir/fig03_prefix_stats.cc.o"
+  "CMakeFiles/fig03_prefix_stats.dir/fig03_prefix_stats.cc.o.d"
+  "fig03_prefix_stats"
+  "fig03_prefix_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_prefix_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_speedup.dir/fig06_speedup.cc.o"
+  "CMakeFiles/fig06_speedup.dir/fig06_speedup.cc.o.d"
+  "fig06_speedup"
+  "fig06_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_recall_qps.dir/fig08_recall_qps.cc.o"
+  "CMakeFiles/fig08_recall_qps.dir/fig08_recall_qps.cc.o.d"
+  "fig08_recall_qps"
+  "fig08_recall_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_recall_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

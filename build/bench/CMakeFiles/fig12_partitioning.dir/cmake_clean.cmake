@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_partitioning.dir/fig12_partitioning.cc.o"
+  "CMakeFiles/fig12_partitioning.dir/fig12_partitioning.cc.o.d"
+  "fig12_partitioning"
+  "fig12_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_preprocessing.dir/table4_preprocessing.cc.o"
+  "CMakeFiles/table4_preprocessing.dir/table4_preprocessing.cc.o.d"
+  "table4_preprocessing"
+  "table4_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_outlier.dir/table5_outlier.cc.o"
+  "CMakeFiles/table5_outlier.dir/table5_outlier.cc.o.d"
+  "table5_outlier"
+  "table5_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

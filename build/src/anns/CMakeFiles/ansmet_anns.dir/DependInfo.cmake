@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anns/bruteforce.cc" "src/anns/CMakeFiles/ansmet_anns.dir/bruteforce.cc.o" "gcc" "src/anns/CMakeFiles/ansmet_anns.dir/bruteforce.cc.o.d"
+  "/root/repo/src/anns/dataset.cc" "src/anns/CMakeFiles/ansmet_anns.dir/dataset.cc.o" "gcc" "src/anns/CMakeFiles/ansmet_anns.dir/dataset.cc.o.d"
+  "/root/repo/src/anns/hnsw.cc" "src/anns/CMakeFiles/ansmet_anns.dir/hnsw.cc.o" "gcc" "src/anns/CMakeFiles/ansmet_anns.dir/hnsw.cc.o.d"
+  "/root/repo/src/anns/ivf.cc" "src/anns/CMakeFiles/ansmet_anns.dir/ivf.cc.o" "gcc" "src/anns/CMakeFiles/ansmet_anns.dir/ivf.cc.o.d"
+  "/root/repo/src/anns/pq.cc" "src/anns/CMakeFiles/ansmet_anns.dir/pq.cc.o" "gcc" "src/anns/CMakeFiles/ansmet_anns.dir/pq.cc.o.d"
+  "/root/repo/src/anns/scalar.cc" "src/anns/CMakeFiles/ansmet_anns.dir/scalar.cc.o" "gcc" "src/anns/CMakeFiles/ansmet_anns.dir/scalar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ansmet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ansmet_anns.dir/bruteforce.cc.o"
+  "CMakeFiles/ansmet_anns.dir/bruteforce.cc.o.d"
+  "CMakeFiles/ansmet_anns.dir/dataset.cc.o"
+  "CMakeFiles/ansmet_anns.dir/dataset.cc.o.d"
+  "CMakeFiles/ansmet_anns.dir/hnsw.cc.o"
+  "CMakeFiles/ansmet_anns.dir/hnsw.cc.o.d"
+  "CMakeFiles/ansmet_anns.dir/ivf.cc.o"
+  "CMakeFiles/ansmet_anns.dir/ivf.cc.o.d"
+  "CMakeFiles/ansmet_anns.dir/pq.cc.o"
+  "CMakeFiles/ansmet_anns.dir/pq.cc.o.d"
+  "CMakeFiles/ansmet_anns.dir/scalar.cc.o"
+  "CMakeFiles/ansmet_anns.dir/scalar.cc.o.d"
+  "libansmet_anns.a"
+  "libansmet_anns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ansmet_anns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ansmet_anns.
+# This may be replaced when dependencies are built.

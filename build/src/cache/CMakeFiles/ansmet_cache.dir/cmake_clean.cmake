@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ansmet_cache.dir/cache.cc.o"
+  "CMakeFiles/ansmet_cache.dir/cache.cc.o.d"
+  "libansmet_cache.a"
+  "libansmet_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ansmet_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

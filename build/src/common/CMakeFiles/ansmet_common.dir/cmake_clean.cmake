@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ansmet_common.dir/logging.cc.o"
+  "CMakeFiles/ansmet_common.dir/logging.cc.o.d"
+  "libansmet_common.a"
+  "libansmet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ansmet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

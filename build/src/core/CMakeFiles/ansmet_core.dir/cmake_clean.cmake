@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ansmet_core.dir/experiment.cc.o"
+  "CMakeFiles/ansmet_core.dir/experiment.cc.o.d"
+  "CMakeFiles/ansmet_core.dir/system.cc.o"
+  "CMakeFiles/ansmet_core.dir/system.cc.o.d"
+  "CMakeFiles/ansmet_core.dir/trace.cc.o"
+  "CMakeFiles/ansmet_core.dir/trace.cc.o.d"
+  "libansmet_core.a"
+  "libansmet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ansmet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

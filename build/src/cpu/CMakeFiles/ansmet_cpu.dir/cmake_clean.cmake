@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ansmet_cpu.dir/host.cc.o"
+  "CMakeFiles/ansmet_cpu.dir/host.cc.o.d"
+  "libansmet_cpu.a"
+  "libansmet_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ansmet_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

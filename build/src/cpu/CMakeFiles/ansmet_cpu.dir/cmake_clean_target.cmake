@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libansmet_cpu.a"
+)

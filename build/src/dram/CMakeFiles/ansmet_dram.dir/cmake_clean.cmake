@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ansmet_dram.dir/controller.cc.o"
+  "CMakeFiles/ansmet_dram.dir/controller.cc.o.d"
+  "CMakeFiles/ansmet_dram.dir/device.cc.o"
+  "CMakeFiles/ansmet_dram.dir/device.cc.o.d"
+  "libansmet_dram.a"
+  "libansmet_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ansmet_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

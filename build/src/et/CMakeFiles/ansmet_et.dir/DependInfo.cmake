@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/et/exact.cc" "src/et/CMakeFiles/ansmet_et.dir/exact.cc.o" "gcc" "src/et/CMakeFiles/ansmet_et.dir/exact.cc.o.d"
+  "/root/repo/src/et/fetchsim.cc" "src/et/CMakeFiles/ansmet_et.dir/fetchsim.cc.o" "gcc" "src/et/CMakeFiles/ansmet_et.dir/fetchsim.cc.o.d"
+  "/root/repo/src/et/layout.cc" "src/et/CMakeFiles/ansmet_et.dir/layout.cc.o" "gcc" "src/et/CMakeFiles/ansmet_et.dir/layout.cc.o.d"
+  "/root/repo/src/et/prefix.cc" "src/et/CMakeFiles/ansmet_et.dir/prefix.cc.o" "gcc" "src/et/CMakeFiles/ansmet_et.dir/prefix.cc.o.d"
+  "/root/repo/src/et/profile.cc" "src/et/CMakeFiles/ansmet_et.dir/profile.cc.o" "gcc" "src/et/CMakeFiles/ansmet_et.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ansmet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/anns/CMakeFiles/ansmet_anns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

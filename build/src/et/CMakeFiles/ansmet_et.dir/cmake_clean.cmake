@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ansmet_et.dir/exact.cc.o"
+  "CMakeFiles/ansmet_et.dir/exact.cc.o.d"
+  "CMakeFiles/ansmet_et.dir/fetchsim.cc.o"
+  "CMakeFiles/ansmet_et.dir/fetchsim.cc.o.d"
+  "CMakeFiles/ansmet_et.dir/layout.cc.o"
+  "CMakeFiles/ansmet_et.dir/layout.cc.o.d"
+  "CMakeFiles/ansmet_et.dir/prefix.cc.o"
+  "CMakeFiles/ansmet_et.dir/prefix.cc.o.d"
+  "CMakeFiles/ansmet_et.dir/profile.cc.o"
+  "CMakeFiles/ansmet_et.dir/profile.cc.o.d"
+  "libansmet_et.a"
+  "libansmet_et.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ansmet_et.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ansmet_et.
+# This may be replaced when dependencies are built.

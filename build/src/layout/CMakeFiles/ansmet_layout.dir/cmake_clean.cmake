@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ansmet_layout.dir/partition.cc.o"
+  "CMakeFiles/ansmet_layout.dir/partition.cc.o.d"
+  "libansmet_layout.a"
+  "libansmet_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ansmet_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

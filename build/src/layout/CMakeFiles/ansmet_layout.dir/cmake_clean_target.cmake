@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libansmet_layout.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndp/ndp_unit.cc" "src/ndp/CMakeFiles/ansmet_ndp.dir/ndp_unit.cc.o" "gcc" "src/ndp/CMakeFiles/ansmet_ndp.dir/ndp_unit.cc.o.d"
+  "/root/repo/src/ndp/polling.cc" "src/ndp/CMakeFiles/ansmet_ndp.dir/polling.cc.o" "gcc" "src/ndp/CMakeFiles/ansmet_ndp.dir/polling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ansmet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ansmet_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/anns/CMakeFiles/ansmet_anns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

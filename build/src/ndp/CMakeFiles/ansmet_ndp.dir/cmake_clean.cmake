@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ansmet_ndp.dir/ndp_unit.cc.o"
+  "CMakeFiles/ansmet_ndp.dir/ndp_unit.cc.o.d"
+  "CMakeFiles/ansmet_ndp.dir/polling.cc.o"
+  "CMakeFiles/ansmet_ndp.dir/polling.cc.o.d"
+  "libansmet_ndp.a"
+  "libansmet_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ansmet_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anns.dir/test_anns.cc.o"
+  "CMakeFiles/test_anns.dir/test_anns.cc.o.d"
+  "test_anns"
+  "test_anns.pdb"
+  "test_anns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

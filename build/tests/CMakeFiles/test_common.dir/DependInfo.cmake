@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/test_common.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ansmet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/et/CMakeFiles/ansmet_et.dir/DependInfo.cmake"
+  "/root/repo/build/src/anns/CMakeFiles/ansmet_anns.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/ansmet_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ansmet_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ansmet_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ansmet_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ansmet_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ansmet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fetchsim.dir/test_fetchsim.cc.o"
+  "CMakeFiles/test_fetchsim.dir/test_fetchsim.cc.o.d"
+  "test_fetchsim"
+  "test_fetchsim.pdb"
+  "test_fetchsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fetchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

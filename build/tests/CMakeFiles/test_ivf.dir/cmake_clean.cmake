@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ivf.dir/test_ivf.cc.o"
+  "CMakeFiles/test_ivf.dir/test_ivf.cc.o.d"
+  "test_ivf"
+  "test_ivf.pdb"
+  "test_ivf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ivf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

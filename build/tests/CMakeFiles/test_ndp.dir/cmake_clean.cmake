@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ndp.dir/test_ndp.cc.o"
+  "CMakeFiles/test_ndp.dir/test_ndp.cc.o.d"
+  "test_ndp"
+  "test_ndp.pdb"
+  "test_ndp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sortable.dir/test_sortable.cc.o"
+  "CMakeFiles/test_sortable.dir/test_sortable.cc.o.d"
+  "test_sortable"
+  "test_sortable.pdb"
+  "test_sortable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sortable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
