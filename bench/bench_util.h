@@ -11,6 +11,7 @@
 #ifndef ANSMET_BENCH_BENCH_UTIL_H
 #define ANSMET_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -18,6 +19,7 @@
 #include <string>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "core/experiment.h"
 
 namespace ansmet::bench {
@@ -90,14 +92,41 @@ context(anns::DatasetId id, std::size_t k = 10)
     return *it->second;
 }
 
-/** Banner identifying the reproduced table/figure. */
+/** Start of the process, for the end-of-run timing line. */
+inline std::chrono::steady_clock::time_point &
+processStart()
+{
+    static auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
+/**
+ * Banner identifying the reproduced table/figure. Also arms an atexit
+ * hook that reports total wall-clock and the thread-pool width, so
+ * every bench binary prints a comparable timing line — the number the
+ * ANSMET_THREADS speedup is measured on.
+ */
 inline void
 banner(const char *what, const char *paper_ref)
 {
+    processStart(); // pin t0 at (or before) first output
     std::printf("==========================================================\n");
     std::printf("ANSMET reproduction — %s\n", what);
     std::printf("Paper reference: %s\n", paper_ref);
     std::printf("==========================================================\n\n");
+    static bool armed = false;
+    if (!armed) {
+        armed = true;
+        std::atexit([] {
+            const double s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 processStart())
+                                 .count();
+            std::printf("\n[timing] total wall-clock: %.2f s "
+                        "(ANSMET_THREADS=%u)\n",
+                        s, ThreadPool::configuredThreads());
+        });
+    }
 }
 
 } // namespace ansmet::bench

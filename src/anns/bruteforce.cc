@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace ansmet::anns {
 
@@ -23,10 +24,13 @@ std::vector<std::vector<Neighbor>>
 bruteForceAll(Metric m, const std::vector<std::vector<float>> &queries,
               const VectorSet &vs, std::size_t k)
 {
-    std::vector<std::vector<Neighbor>> out;
-    out.reserve(queries.size());
-    for (const auto &q : queries)
-        out.push_back(bruteForceKnn(m, q.data(), vs, k));
+    // Embarrassingly parallel over queries; each slot is written by
+    // exactly one iteration, so the result matches a serial run.
+    std::vector<std::vector<Neighbor>> out(queries.size());
+    parallelFor(0, queries.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q)
+            out[q] = bruteForceKnn(m, queries[q].data(), vs, k);
+    });
     return out;
 }
 

@@ -51,12 +51,16 @@ l2Sq(const float *q, const VectorSet &vs, VectorId v)
         }
         break;
       }
-      case ScalarType::kFp16:
+      case ScalarType::kFp16: {
+        std::uint16_t h;
         for (unsigned i = 0; i < d; ++i) {
-            const double diff = static_cast<double>(q[i]) - vs.at(v, i);
+            std::memcpy(&h, raw + i * 2, 2);
+            const double diff = static_cast<double>(q[i]) -
+                                static_cast<double>(halfToFloat(h));
             acc += diff * diff;
         }
         break;
+      }
       case ScalarType::kFp32: {
         // Double-precision differences so the ET lower bounds (which
         // operate on doubles) are *provably* never above this value.
@@ -91,10 +95,15 @@ negIp(const float *q, const VectorSet &vs, VectorId v)
             acc += static_cast<double>(q[i]) * static_cast<float>(p[i]);
         break;
       }
-      case ScalarType::kFp16:
-        for (unsigned i = 0; i < d; ++i)
-            acc += static_cast<double>(q[i]) * vs.at(v, i);
+      case ScalarType::kFp16: {
+        std::uint16_t h;
+        for (unsigned i = 0; i < d; ++i) {
+            std::memcpy(&h, raw + i * 2, 2);
+            acc += static_cast<double>(q[i]) *
+                   static_cast<double>(halfToFloat(h));
+        }
         break;
+      }
       case ScalarType::kFp32: {
         float f;
         for (unsigned i = 0; i < d; ++i) {

@@ -5,8 +5,10 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <unordered_map>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace ansmet::anns {
 
@@ -17,17 +19,89 @@ nullObserver()
     return obs;
 }
 
+// ---------------------------------------------------------------------
+// Visited-set scratch pool
+// ---------------------------------------------------------------------
+
+class HnswIndex::ScratchPool
+{
+  public:
+    explicit ScratchPool(std::size_t n) : n_(n) {}
+
+    VisitScratch *
+    acquire()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!free_.empty()) {
+                VisitScratch *s = free_.back();
+                free_.pop_back();
+                return s;
+            }
+        }
+        auto s = std::make_unique<VisitScratch>();
+        s->tag.assign(n_, 0);
+        VisitScratch *raw = s.get();
+        std::lock_guard<std::mutex> lk(mu_);
+        all_.push_back(std::move(s));
+        return raw;
+    }
+
+    void
+    release(VisitScratch *s)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        free_.push_back(s);
+    }
+
+  private:
+    std::size_t n_;
+    std::mutex mu_;
+    std::vector<std::unique_ptr<VisitScratch>> all_;
+    std::vector<VisitScratch *> free_;
+};
+
+class HnswIndex::ScratchLease
+{
+  public:
+    explicit ScratchLease(ScratchPool &pool)
+        : pool_(pool), scratch_(pool.acquire())
+    {
+    }
+    ~ScratchLease() { pool_.release(scratch_); }
+    ScratchLease(const ScratchLease &) = delete;
+    ScratchLease &operator=(const ScratchLease &) = delete;
+
+    VisitScratch &operator*() const { return *scratch_; }
+
+  private:
+    ScratchPool &pool_;
+    VisitScratch *scratch_;
+};
+
+// ---------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------
+
 HnswIndex::HnswIndex(const VectorSet &vs, Metric m, HnswParams params)
     : vs_(vs), metric_(m), params_(params),
       level_mult_(1.0 / std::log(static_cast<double>(params.m))),
       nodes_(vs.size()),
-      visit_tag_(vs.size(), 0)
+      scratch_(std::make_unique<ScratchPool>(vs.size()))
 {
     ANSMET_ASSERT(vs.size() > 0, "empty vector set");
-    Prng rng(params_.seed);
-    for (std::size_t v = 0; v < vs_.size(); ++v)
-        insert(static_cast<VectorId>(v), rng);
+    const std::vector<unsigned> levels = drawLevels();
+    if (params_.build == HnswParams::Build::kLocked)
+        buildLocked(levels);
+    else
+        buildOrdered(levels);
+    locks_.reset();
+    entry_mu_.reset();
 }
+
+// Defined here, where ScratchPool is complete.
+HnswIndex::HnswIndex(HnswIndex &&) noexcept = default;
+HnswIndex::~HnswIndex() = default;
 
 unsigned
 HnswIndex::randomLevel(Prng &rng) const
@@ -37,6 +111,21 @@ HnswIndex::randomLevel(Prng &rng) const
         u = 1e-12;
     const double level = -std::log(u) * level_mult_;
     return static_cast<unsigned>(std::min(level, 31.0));
+}
+
+std::vector<unsigned>
+HnswIndex::drawLevels() const
+{
+    // One independent PRNG stream per vertex: the level of a vertex
+    // depends only on (seed, id), never on insertion or thread order.
+    std::vector<unsigned> levels(vs_.size());
+    parallelFor(0, vs_.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t v = lo; v < hi; ++v) {
+            Prng rng = Prng::stream(params_.seed, v);
+            levels[v] = randomLevel(rng);
+        }
+    });
+    return levels;
 }
 
 const std::vector<VectorId> &
@@ -68,26 +157,39 @@ HnswIndex::graphBytes() const
 
 std::vector<Neighbor>
 HnswIndex::searchLayer(const float *q, Neighbor entry, std::size_t ef,
-                       unsigned level, SearchObserver *obs) const
+                       unsigned level, SearchObserver *obs,
+                       VisitScratch &vis, bool locked) const
 {
-    ++visit_epoch_;
-    visit_tag_[entry.id] = visit_epoch_;
+    if (++vis.epoch == 0) {
+        // Epoch wrapped: old tags could collide with the new epoch.
+        std::fill(vis.tag.begin(), vis.tag.end(), 0);
+        vis.epoch = 1;
+    }
+    vis.tag[entry.id] = vis.epoch;
 
     SearchSet candidates;
     candidates.push(entry);
     ResultSet results(ef);
     results.offer(entry);
 
+    std::vector<VectorId> snapshot;
     while (!candidates.empty()) {
         const Neighbor cur = candidates.pop();
         if (cur.dist > results.worst())
             break;
 
-        const auto &links = nodes_[cur.id].links[level];
+        const std::vector<VectorId> *links = &nodes_[cur.id].links[level];
+        if (locked) {
+            // Live parallel build: another thread may be appending to
+            // this list; copy it under the node's lock.
+            std::lock_guard<std::mutex> lk(locks_[cur.id]);
+            snapshot = nodes_[cur.id].links[level];
+            links = &snapshot;
+        }
         if (obs) {
             obs->beginStep(level == 0 ? StepKind::kBaseBeam
                                       : StepKind::kUpperGreedy,
-                           links.size() * sizeof(VectorId), cur.id);
+                           links->size() * sizeof(VectorId), cur.id);
             obs->onHeapOps(1); // the pop above
         }
 
@@ -95,10 +197,10 @@ HnswIndex::searchLayer(const float *q, Neighbor entry, std::size_t ef,
         // NDP units reject any neighbor at or beyond it.
         const double batch_threshold = results.worst();
 
-        for (const VectorId nb : links) {
-            if (visit_tag_[nb] == visit_epoch_)
+        for (const VectorId nb : *links) {
+            if (vis.tag[nb] == vis.epoch)
                 continue;
-            visit_tag_[nb] = visit_epoch_;
+            vis.tag[nb] = vis.epoch;
 
             const double d = dist(q, nb);
             const bool accepted = d < batch_threshold;
@@ -154,12 +256,6 @@ HnswIndex::selectNeighbors(const float *q, std::vector<Neighbor> candidates,
 }
 
 void
-HnswIndex::connect(VectorId from, VectorId to, unsigned level)
-{
-    nodes_[from].links[level].push_back(to);
-}
-
-void
 HnswIndex::shrink(VectorId v, unsigned level)
 {
     auto &links = nodes_[v].links[level];
@@ -175,49 +271,182 @@ HnswIndex::shrink(VectorId v, unsigned level)
     links = selectNeighbors(vbuf.data(), std::move(cands), cap);
 }
 
-void
-HnswIndex::insert(VectorId v, Prng &rng)
+HnswIndex::InsertPlan
+HnswIndex::planInsert(VectorId v, unsigned level, VisitScratch &vis) const
 {
-    const unsigned level = randomLevel(rng);
-    nodes_[v].links.resize(level + 1);
-
-    if (entry_ == kInvalidVector) {
-        entry_ = v;
-        max_level_ = level;
-        return;
-    }
-
     std::vector<float> q = vs_.toFloat(v);
     Neighbor ep{dist(q.data(), entry_), entry_};
 
     // Greedy descent through layers above the insertion level.
-    for (unsigned l = max_level_; l > level && l > 0; --l) {
-        const auto found = searchLayer(q.data(), ep, 1, l, nullptr);
+    for (unsigned l = max_level_; l > level && l > 0; --l)
+        ep = searchLayer(q.data(), ep, 1, l, nullptr, vis).front();
+
+    InsertPlan plan;
+    const unsigned top = std::min(level, max_level_);
+    plan.selected.resize(top + 1);
+    for (int l = static_cast<int>(top); l >= 0; --l) {
+        const auto lu = static_cast<unsigned>(l);
+        auto found = searchLayer(q.data(), ep, params_.efConstruction, lu,
+                                 nullptr, vis);
         ep = found.front();
+        plan.selected[lu] = selectNeighbors(q.data(), found, params_.m);
+    }
+    return plan;
+}
+
+void
+HnswIndex::buildOrdered(const std::vector<unsigned> &levels)
+{
+    const std::size_t n = vs_.size();
+    entry_ = 0;
+    max_level_ = levels[0];
+    nodes_[0].links.resize(levels[0] + 1);
+
+    // Batches double in size: candidate searches within a batch see
+    // the graph frozen at batch start (so they parallelize), while the
+    // stale window stays proportional to what is already built. The
+    // schedule is fixed, so the graph never depends on thread count.
+    constexpr std::size_t kMaxBatch = 4096;
+
+    std::size_t done = 1;
+    std::vector<InsertPlan> plans;
+    while (done < n) {
+        const std::size_t batch =
+            std::min({n - done, done, kMaxBatch});
+        plans.assign(batch, InsertPlan{});
+
+        // Phase A (parallel): pick neighbors against the frozen graph.
+        parallelFor(0, batch, [&](std::size_t lo, std::size_t hi) {
+            ScratchLease vis(*scratch_);
+            for (std::size_t i = lo; i < hi; ++i) {
+                const auto v = static_cast<VectorId>(done + i);
+                plans[i] = planInsert(v, levels[v], *vis);
+            }
+        });
+
+        // Phase B1 (parallel): each vertex writes its own adjacency.
+        parallelFor(0, batch, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const auto v = static_cast<VectorId>(done + i);
+                nodes_[v].links.resize(levels[v] + 1);
+                for (std::size_t l = 0; l < plans[i].selected.size(); ++l)
+                    nodes_[v].links[l] = plans[i].selected[l];
+            }
+        });
+
+        // Group the back-edges by (target, level), accumulating the
+        // sources in insertion order so the appended runs — and the
+        // shrink decisions they feed — are schedule-independent.
+        std::unordered_map<std::uint64_t, std::vector<VectorId>> incoming;
+        for (std::size_t i = 0; i < batch; ++i) {
+            const auto v = static_cast<VectorId>(done + i);
+            for (std::size_t l = 0; l < plans[i].selected.size(); ++l) {
+                for (const VectorId nb : plans[i].selected[l]) {
+                    incoming[(static_cast<std::uint64_t>(nb) << 6) | l]
+                        .push_back(v);
+                }
+            }
+        }
+        std::vector<std::uint64_t> keys;
+        keys.reserve(incoming.size());
+        for (const auto &[key, srcs] : incoming)
+            keys.push_back(key);
+
+        // Phase B2 (parallel): targets are distinct across keys, so
+        // each append + shrink touches exactly one neighbor list.
+        parallelFor(0, keys.size(), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const auto nb = static_cast<VectorId>(keys[i] >> 6);
+                const auto l = static_cast<unsigned>(keys[i] & 63);
+                auto &links = nodes_[nb].links[l];
+                for (const VectorId src : incoming[keys[i]])
+                    links.push_back(src);
+                shrink(nb, l);
+            }
+        });
+
+        // Entry-point handoff in insertion order, as serial HNSW does.
+        for (std::size_t i = 0; i < batch; ++i) {
+            const auto v = static_cast<VectorId>(done + i);
+            if (levels[v] > max_level_) {
+                max_level_ = levels[v];
+                entry_ = v;
+            }
+        }
+        done += batch;
+    }
+}
+
+void
+HnswIndex::buildLocked(const std::vector<unsigned> &levels)
+{
+    const std::size_t n = vs_.size();
+    locks_ = std::make_unique<std::mutex[]>(n);
+    entry_mu_ = std::make_unique<std::mutex>();
+
+    entry_ = 0;
+    max_level_ = levels[0];
+    nodes_[0].links.resize(levels[0] + 1);
+
+    parallelFor(1, n, [&](std::size_t lo, std::size_t hi) {
+        ScratchLease vis(*scratch_);
+        for (std::size_t v = lo; v < hi; ++v) {
+            insertLocked(static_cast<VectorId>(v), levels[v], *vis);
+        }
+    });
+}
+
+void
+HnswIndex::insertLocked(VectorId v, unsigned level, VisitScratch &vis)
+{
+    // Size the adjacency before v becomes reachable via back-edges.
+    {
+        std::lock_guard<std::mutex> lk(locks_[v]);
+        nodes_[v].links.resize(level + 1);
     }
 
-    // Insert at each layer from min(level, max_level_) down to 0.
-    for (int l = static_cast<int>(std::min(level, max_level_)); l >= 0;
+    Neighbor ep;
+    unsigned start_level;
+    {
+        std::lock_guard<std::mutex> lk(*entry_mu_);
+        ep.id = entry_;
+        start_level = max_level_;
+    }
+    std::vector<float> q = vs_.toFloat(v);
+    ep.dist = dist(q.data(), ep.id);
+
+    for (unsigned l = start_level; l > level && l > 0; --l)
+        ep = searchLayer(q.data(), ep, 1, l, nullptr, vis, true).front();
+
+    for (int l = static_cast<int>(std::min(level, start_level)); l >= 0;
          --l) {
         const auto lu = static_cast<unsigned>(l);
-        auto found =
-            searchLayer(q.data(), ep, params_.efConstruction, lu, nullptr);
+        auto found = searchLayer(q.data(), ep, params_.efConstruction, lu,
+                                 nullptr, vis, true);
         ep = found.front();
 
-        const auto selected =
-            selectNeighbors(q.data(), found, params_.m);
+        const auto selected = selectNeighbors(q.data(), found, params_.m);
+        {
+            std::lock_guard<std::mutex> lk(locks_[v]);
+            nodes_[v].links[lu] = selected;
+        }
         for (const VectorId nb : selected) {
-            connect(v, nb, lu);
-            connect(nb, v, lu);
+            std::lock_guard<std::mutex> lk(locks_[nb]);
+            nodes_[nb].links[lu].push_back(v);
             shrink(nb, lu);
         }
     }
 
+    std::lock_guard<std::mutex> lk(*entry_mu_);
     if (level > max_level_) {
         max_level_ = level;
         entry_ = v;
     }
 }
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
 
 namespace {
 
@@ -246,7 +475,7 @@ HnswIndex::HnswIndex(LoadTag, const VectorSet &vs, Metric m,
     : vs_(vs), metric_(m), params_(params),
       level_mult_(1.0 / std::log(static_cast<double>(params.m))),
       nodes_(vs.size()),
-      visit_tag_(vs.size(), 0)
+      scratch_(std::make_unique<ScratchPool>(vs.size()))
 {
 }
 
@@ -293,23 +522,26 @@ HnswIndex::load(std::istream &is, const VectorSet &vs, Metric m,
     return idx;
 }
 
+// ---------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------
+
 std::vector<VectorId>
 HnswIndex::search(const float *query, std::size_t k, std::size_t ef,
                   SearchObserver &obs) const
 {
     ANSMET_ASSERT(ef >= k, "efSearch must be >= k");
 
+    ScratchLease vis(*scratch_);
     Neighbor ep{dist(query, entry_), entry_};
     obs.beginStep(StepKind::kUpperGreedy, sizeof(VectorId), entry_);
     obs.onCompare(ep.id, std::numeric_limits<double>::infinity(), ep.dist,
                   true);
 
-    for (unsigned l = max_level_; l > 0; --l) {
-        const auto found = searchLayer(query, ep, 1, l, &obs);
-        ep = found.front();
-    }
+    for (unsigned l = max_level_; l > 0; --l)
+        ep = searchLayer(query, ep, 1, l, &obs, *vis).front();
 
-    const auto found = searchLayer(query, ep, ef, 0, &obs);
+    const auto found = searchLayer(query, ep, ef, 0, &obs, *vis);
     std::vector<VectorId> out;
     out.reserve(std::min(k, found.size()));
     for (std::size_t i = 0; i < found.size() && i < k; ++i)

@@ -7,6 +7,22 @@
  * and maximum degree 16 by default. Search exposes efSearch (k' in the
  * paper) and reports every comparison through a SearchObserver so the
  * timing layer can replay it.
+ *
+ * Construction is parallelized over the global thread pool in one of
+ * two modes (HnswParams::build):
+ *  - kOrdered (default): deterministic batch-parallel insertion. The
+ *    vertex stream is processed in exponentially growing batches; all
+ *    candidate searches of a batch run in parallel against the graph
+ *    frozen at batch start, then edges are applied in insertion order.
+ *    The resulting graph is a pure function of the seed, identical for
+ *    any thread count — this is what keeps traces and figures
+ *    reproducible.
+ *  - kLocked: live insertion with fine-grained per-node neighbor-list
+ *    locking (hnswlib-style). Slightly better graph quality under
+ *    massive parallelism, but adjacency depends on thread
+ *    interleaving, so it is opt-in for throughput-only uses.
+ * Search is thread-safe and lock-free: per-call visited-set scratch
+ * comes from an internal pool instead of shared mutable members.
  */
 
 #ifndef ANSMET_ANNS_HNSW_H
@@ -14,6 +30,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "anns/distance.h"
@@ -27,9 +45,13 @@ namespace ansmet::anns {
 /** HNSW construction parameters. */
 struct HnswParams
 {
+    /** Parallel construction mode; see file comment. */
+    enum class Build : std::uint8_t { kOrdered, kLocked };
+
     unsigned m = 16;              //!< max degree on upper layers
     unsigned efConstruction = 500;
     std::uint64_t seed = 42;
+    Build build = Build::kOrdered;
 
     unsigned maxDegree(unsigned level) const { return level == 0 ? 2 * m : m; }
 };
@@ -44,8 +66,14 @@ class HnswIndex
      */
     HnswIndex(const VectorSet &vs, Metric m, HnswParams params = {});
 
+    // Out-of-line: members hold pointers to types incomplete here.
+    HnswIndex(HnswIndex &&) noexcept;
+    ~HnswIndex();
+
     /**
-     * Approximate k-nearest-neighbor search.
+     * Approximate k-nearest-neighbor search. Safe to call from many
+     * threads concurrently (each call draws its own visited-set
+     * scratch from a pool).
      * @param ef beam width (k', >= k)
      * @return up to k ids ascending by distance
      */
@@ -98,6 +126,25 @@ class HnswIndex
         std::vector<std::vector<VectorId>> links;
     };
 
+    /** Per-search visited-set scratch (tag array + epoch counter). */
+    struct VisitScratch
+    {
+        std::vector<std::uint32_t> tag;
+        std::uint32_t epoch = 0;
+    };
+
+    /** Pool of VisitScratch instances for concurrent searches. */
+    class ScratchPool;
+
+    /** RAII lease of one VisitScratch from the pool. */
+    class ScratchLease;
+
+    /** Neighbor lists selected for one vertex, per level (0..top). */
+    struct InsertPlan
+    {
+        std::vector<std::vector<VectorId>> selected;
+    };
+
     unsigned randomLevel(Prng &rng) const;
 
     double
@@ -108,19 +155,33 @@ class HnswIndex
 
     /**
      * Beam search within one layer from @p entry.
+     * @param vis per-call visited scratch
+     * @param locked snapshot each node's links under its lock (live
+     *        parallel build only)
      * @return candidates found, ascending by distance (up to ef).
      */
     std::vector<Neighbor> searchLayer(const float *q, Neighbor entry,
                                       std::size_t ef, unsigned level,
-                                      SearchObserver *obs) const;
+                                      SearchObserver *obs,
+                                      VisitScratch &vis,
+                                      bool locked = false) const;
 
     /** HNSW Algorithm 4 neighbor selection (heuristic with pruning). */
     std::vector<VectorId> selectNeighbors(const float *q,
                                           std::vector<Neighbor> candidates,
                                           unsigned m_target) const;
 
-    void insert(VectorId v, Prng &rng);
-    void connect(VectorId from, VectorId to, unsigned level);
+    /** Per-vertex levels drawn from seed-derived per-vertex streams. */
+    std::vector<unsigned> drawLevels() const;
+
+    /** Candidate selection for @p v against the current (frozen) graph. */
+    InsertPlan planInsert(VectorId v, unsigned level,
+                          VisitScratch &vis) const;
+
+    void buildOrdered(const std::vector<unsigned> &levels);
+    void buildLocked(const std::vector<unsigned> &levels);
+    void insertLocked(VectorId v, unsigned level, VisitScratch &vis);
+
     void shrink(VectorId v, unsigned level);
 
     const VectorSet &vs_;
@@ -131,10 +192,14 @@ class HnswIndex
     VectorId entry_ = kInvalidVector;
     unsigned max_level_ = 0;
 
-    // Scratch for visited-set tagging; mutable because search is
-    // logically const. Not thread-safe by design (single-threaded sim).
-    mutable std::vector<std::uint32_t> visit_tag_;
-    mutable std::uint32_t visit_epoch_ = 0;
+    // Search scratch pool; mutable because search is logically const.
+    mutable std::unique_ptr<ScratchPool> scratch_;
+
+    // Per-node neighbor-list locks plus the entry-point lock; allocated
+    // only for the duration of a kLocked build (a mutex member would
+    // make the index non-movable).
+    mutable std::unique_ptr<std::mutex[]> locks_;
+    std::unique_ptr<std::mutex> entry_mu_;
 };
 
 } // namespace ansmet::anns

@@ -69,33 +69,4 @@ floatToHalf(float f)
     return static_cast<std::uint16_t>(sign);
 }
 
-float
-halfToFloat(std::uint16_t h)
-{
-    const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u)
-                               << 16;
-    const std::uint32_t exp = (h >> 10) & 0x1f;
-    const std::uint32_t mant = h & 0x3ffu;
-
-    if (exp == 0) {
-        if (mant == 0)
-            return bitsToFloat(sign);
-        // Subnormal: normalize.
-        std::uint32_t m = mant;
-        std::int32_t e = -14;
-        while (!(m & 0x400u)) {
-            m <<= 1;
-            --e;
-        }
-        m &= 0x3ffu;
-        return bitsToFloat(sign |
-                           (static_cast<std::uint32_t>(e + 127) << 23) |
-                           (m << 13));
-    }
-    if (exp == 31) {
-        return bitsToFloat(sign | 0x7f800000u | (mant << 13));
-    }
-    return bitsToFloat(sign | ((exp - 15 + 127) << 23) | (mant << 13));
-}
-
 } // namespace ansmet::anns

@@ -119,6 +119,27 @@ class Prng
         }
     }
 
+    /**
+     * Independent child generator for stream @p index, derived purely
+     * from (seed, index). Parallel code hands stream i to work item i
+     * (not to thread i), so the drawn values are a function of the
+     * partitioning of work, never of the thread schedule.
+     */
+    static Prng
+    stream(std::uint64_t seed, std::uint64_t index)
+    {
+        return Prng(seed ^ mix(index + 1));
+    }
+
+    /** splitmix64 finalizer; good avalanche for stream separation. */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -1,0 +1,198 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace ansmet {
+
+namespace {
+
+// Set while a thread is executing pool work; nested parallel calls on
+// such a thread run inline instead of re-entering the pool.
+thread_local bool tls_in_pool_work = false;
+
+} // namespace
+
+unsigned
+ThreadPool::configuredThreads()
+{
+    if (const char *env = std::getenv("ANSMET_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+        ANSMET_WARN("ignoring invalid ANSMET_THREADS value");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(configuredThreads());
+    return pool;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = configuredThreads();
+    workers_.reserve(threads - 1);
+    for (unsigned t = 0; t + 1 < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    if (workers_.empty() || tls_in_pool_work) {
+        // Inline fallback: no workers, or a nested submission from a
+        // worker that must not wait on pool capacity.
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::runChunks(ForJob &job)
+{
+    const bool was_in_pool = tls_in_pool_work;
+    tls_in_pool_work = true;
+    for (;;) {
+        const std::size_t i =
+            job.next.fetch_add(job.grain, std::memory_order_relaxed);
+        if (i >= job.end)
+            break;
+        const std::size_t hi = std::min(i + job.grain, job.end);
+        try {
+            (*job.body)(i, hi);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(job.error_mu);
+            if (!job.error)
+                job.error = std::current_exception();
+            // Keep claiming chunks so the range always completes and
+            // other participants are not left spinning; only the first
+            // error is reported.
+        }
+    }
+    tls_in_pool_work = was_in_pool;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<ForJob> job;
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            const auto has_chunks = [this] {
+                return for_job_ &&
+                       for_job_->next.load(std::memory_order_relaxed) <
+                           for_job_->end;
+            };
+            cv_.wait(lk, [&] {
+                return stop_ || !tasks_.empty() || has_chunks();
+            });
+            if (stop_ && tasks_.empty() && !has_chunks())
+                return;
+            if (!tasks_.empty()) {
+                task = std::move(tasks_.back());
+                tasks_.pop_back();
+            } else if (has_chunks()) {
+                job = for_job_;
+                job->active.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                continue;
+            }
+        }
+        if (task) {
+            const bool was = tls_in_pool_work;
+            tls_in_pool_work = true;
+            task();
+            tls_in_pool_work = was;
+            continue;
+        }
+        runChunks(*job);
+        if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lk(job->done_mu);
+            job->done_cv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)> &body,
+    std::size_t grain)
+{
+    if (begin >= end)
+        return;
+    const std::size_t n = end - begin;
+    if (workers_.empty() || tls_in_pool_work || n == 1) {
+        // Single-thread fallback and nested calls: plain serial loop.
+        body(begin, end);
+        return;
+    }
+    if (grain == 0)
+        grain = std::max<std::size_t>(1, n / (8 * size()));
+
+    auto job = std::make_shared<ForJob>();
+    job->end = n;
+    job->grain = grain;
+    // Chunk indices are offsets from `begin` so the atomic cursor can
+    // start at zero.
+    const std::function<void(std::size_t, std::size_t)> shifted =
+        [&body, begin](std::size_t lo, std::size_t hi) {
+            body(begin + lo, begin + hi);
+        };
+    job->body = &shifted;
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ANSMET_ASSERT(!for_job_, "concurrent top-level parallelFor calls "
+                                 "on one pool are not supported");
+        for_job_ = job;
+    }
+    cv_.notify_all();
+
+    // The caller participates: it claims chunks like any worker, which
+    // is what makes a busy pool degrade to inline execution.
+    runChunks(*job);
+
+    {
+        // Unpublish, then wait for workers still running claimed chunks.
+        std::lock_guard<std::mutex> lk(mu_);
+        for_job_.reset();
+    }
+    {
+        std::unique_lock<std::mutex> lk(job->done_mu);
+        job->done_cv.wait(lk, [&job] {
+            return job->active.load(std::memory_order_acquire) == 0;
+        });
+        job->done = true;
+    }
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+} // namespace ansmet

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Work-stealing thread pool shared by the functional layers.
+ *
+ * The pool parallelizes the embarrassingly parallel host-side work —
+ * ground truth, graph construction, query tracing, replay precompute —
+ * while the event-driven timing model itself stays serial (its whole
+ * point is a deterministic global event order). Sizing comes from the
+ * ANSMET_THREADS environment variable (default: hardware concurrency);
+ * ANSMET_THREADS=1 degrades every entry point to plain inline
+ * execution, which is the reference behavior the determinism tests
+ * compare against.
+ *
+ * parallelFor() hands out chunks of the index range from a shared
+ * atomic cursor, so threads that finish early immediately steal the
+ * remaining iterations from slower ones; submit() queues individual
+ * tasks. Calls nested inside a worker run inline (serially) rather
+ * than deadlocking on pool capacity.
+ */
+
+#ifndef ANSMET_COMMON_THREAD_POOL_H
+#define ANSMET_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ansmet {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total execution lanes including the caller;
+     *        0 = configuredThreads(). 1 means no worker threads are
+     *        spawned and everything runs inline.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Execution lanes (worker threads + the calling thread), >= 1. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+    /** ANSMET_THREADS if set (clamped to >= 1), else hardware concurrency. */
+    static unsigned configuredThreads();
+
+    /** Process-wide pool sized by configuredThreads() at first use. */
+    static ThreadPool &global();
+
+    /**
+     * Run body(begin, end) over [begin, end) split into chunks of
+     * @p grain iterations (0 = auto). Blocks until every iteration has
+     * run. The first exception thrown by any chunk is rethrown on the
+     * calling thread once all in-flight chunks drain. Chunk-to-thread
+     * assignment is dynamic; callers must make iterations independent
+     * and write only to iteration-indexed slots so the result is
+     * identical to a serial run.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t, std::size_t)> &body,
+                     std::size_t grain = 0);
+
+    /** Queue one task; the future reports its result or exception. */
+    template <typename Fn>
+    auto
+    submit(Fn fn) -> std::future<decltype(fn())>
+    {
+        using R = decltype(fn());
+        auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+  private:
+    struct ForJob
+    {
+        std::size_t end = 0;
+        std::size_t grain = 1;
+        const std::function<void(std::size_t, std::size_t)> *body = nullptr;
+        std::atomic<std::size_t> next{0};
+        std::atomic<unsigned> active{0};
+        std::exception_ptr error;
+        std::mutex error_mu;
+        bool done = false; // all chunks claimed and executed
+        std::mutex done_mu;
+        std::condition_variable done_cv;
+    };
+
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+    static void runChunks(ForJob &job);
+
+    std::vector<std::thread> workers_;
+    std::shared_ptr<ForJob> for_job_; // guarded by mu_
+    std::vector<std::function<void()>> tasks_; // guarded by mu_
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/** Convenience: ThreadPool::global().parallelFor(...). */
+inline void
+parallelFor(std::size_t begin, std::size_t end,
+            const std::function<void(std::size_t, std::size_t)> &body,
+            std::size_t grain = 0)
+{
+    ThreadPool::global().parallelFor(begin, end, body, grain);
+}
+
+} // namespace ansmet
+
+#endif // ANSMET_COMMON_THREAD_POOL_H

@@ -3,9 +3,11 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <numeric>
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace ansmet::core {
 
@@ -56,10 +58,12 @@ ExperimentContext::buildOrLoadIndex()
 {
     const auto &spec = anns::datasetSpec(cfg_.dataset);
     std::ostringstream key;
+    // "_g2" = ordered batch-parallel builder; cached graphs from the
+    // old serial builder are not comparable and must not be loaded.
     key << spec.name << "_n" << ds_.base->size() << "_q"
         << ds_.queries.size() << "_s" << cfg_.seed << "_m" << cfg_.hnsw.m
         << "_efc" << cfg_.hnsw.efConstruction << "_z" << cfg_.zipfAlpha
-        << ".hnsw";
+        << "_g2.hnsw";
     const auto path = cacheDir() / key.str();
 
     if (std::filesystem::exists(path)) {
@@ -100,16 +104,23 @@ std::size_t
 ExperimentContext::tuneEf()
 {
     const auto &gt = groundTruth();
+    const std::size_t nq = ds_.queries.size();
+    std::vector<double> per_query(nq);
     for (std::size_t ef = std::max<std::size_t>(cfg_.k, 10);
          ef <= 5120; ef *= 2) {
-        double total = 0.0;
-        for (std::size_t q = 0; q < ds_.queries.size(); ++q) {
-            const auto ids =
-                index_->search(ds_.queries[q].data(), cfg_.k, ef);
-            total += anns::recallAtK(ids, gt[q], cfg_.k);
-        }
-        const double recall =
-            total / static_cast<double>(ds_.queries.size());
+        // Parallel searches write per-query slots; the reduction runs
+        // serially in query order so the sum is bit-identical to the
+        // single-threaded loop.
+        parallelFor(0, nq, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t q = lo; q < hi; ++q) {
+                const auto ids =
+                    index_->search(ds_.queries[q].data(), cfg_.k, ef);
+                per_query[q] = anns::recallAtK(ids, gt[q], cfg_.k);
+            }
+        });
+        const double total =
+            std::accumulate(per_query.begin(), per_query.end(), 0.0);
+        const double recall = total / static_cast<double>(nq);
         if (recall >= cfg_.targetRecall)
             return ef;
     }
@@ -121,17 +132,22 @@ ExperimentContext::tuneEf()
 std::pair<std::vector<QueryTrace>, double>
 ExperimentContext::traceWithEf(std::size_t ef) const
 {
-    std::vector<QueryTrace> traces;
-    traces.reserve(ds_.queries.size());
+    const std::size_t nq = ds_.queries.size();
+    std::vector<QueryTrace> traces(nq);
     const auto &gt = groundTruth();
-    double total = 0.0;
-    for (std::size_t q = 0; q < ds_.queries.size(); ++q) {
-        traces.push_back(traceHnswQuery(*index_, ds_.queries[q], cfg_.k,
-                                        std::max(ef, cfg_.k)));
-        total += anns::recallAtK(traces.back().result, gt[q], cfg_.k);
-    }
-    return {std::move(traces),
-            total / static_cast<double>(ds_.queries.size())};
+    std::vector<double> per_query(nq);
+    // Queries are independent; traces land in their stable slots and
+    // the recall reduction runs in query order (see tuneEf).
+    parallelFor(0, nq, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+            traces[q] = traceHnswQuery(*index_, ds_.queries[q], cfg_.k,
+                                       std::max(ef, cfg_.k));
+            per_query[q] = anns::recallAtK(traces[q].result, gt[q], cfg_.k);
+        }
+    });
+    const double total =
+        std::accumulate(per_query.begin(), per_query.end(), 0.0);
+    return {std::move(traces), total / static_cast<double>(nq)};
 }
 
 SystemConfig

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "ndp/instr.h"
 
 namespace ansmet::core {
@@ -47,8 +48,35 @@ class SystemModel::QueryContext
         stats_ = QueryStats{};
         stats_.start = sys_.eq_.now();
         step_ = 0;
+        fetch_cursor_ = 0;
         query_loaded_units_.clear();
         startStep();
+    }
+
+    /**
+     * Fetch-simulation outcome for the next comparison, either popped
+     * from the precomputed per-query sequence or simulated on the fly
+     * (single-threaded reference path). Call sites consume results in
+     * the same (step, task, sub-vector) order precomputeFetch()
+     * produced them.
+     */
+    et::FetchResult
+    nextFetch(const CompareTask &t, unsigned dim_begin, unsigned dim_end)
+    {
+        if (!sys_.prefetch_.empty()) {
+            const auto &pre = sys_.prefetch_[qidx_];
+            ANSMET_ASSERT(fetch_cursor_ < pre.size(),
+                          "replay consumed more fetches than precomputed");
+            const SystemModel::PreFetch &p = pre[fetch_cursor_++];
+            et::FetchResult fr;
+            fr.lines = p.lines;
+            fr.backupLines = p.backup;
+            fr.terminatedEarly = p.terminated;
+            return fr;
+        }
+        return sys_.fetchsim_->simulateRange(trace_->query.data(), t.vec,
+                                             t.threshold, dim_begin,
+                                             dim_end);
     }
 
     void
@@ -104,8 +132,7 @@ class SystemModel::QueryContext
             return;
         }
         const CompareTask &t = s.tasks[task_];
-        const et::FetchResult fr = sys_.fetchsim_->simulate(
-            trace_->query.data(), t.vec, t.threshold);
+        const et::FetchResult fr = nextFetch(t, 0, sys_.vs_.dims());
         accountFetch(t, fr.totalLines(), fr.terminatedEarly,
                      fr.backupLines);
 
@@ -145,9 +172,8 @@ class SystemModel::QueryContext
             const unsigned group = chooseGroup(t.vec);
             const auto &places = sys_.placeOf(t.vec, group);
             for (const auto &sp : places) {
-                const et::FetchResult fr = sys_.fetchsim_->simulateRange(
-                    trace_->query.data(), t.vec, t.threshold, sp.dimBegin,
-                    sp.dimEnd);
+                const et::FetchResult fr =
+                    nextFetch(t, sp.dimBegin, sp.dimEnd);
                 accountFetch(t, fr.totalLines(), fr.terminatedEarly,
                              fr.backupLines);
                 sys_.loads_->add(sp.rank, fr.totalLines());
@@ -397,6 +423,7 @@ class SystemModel::QueryContext
     std::size_t qidx_ = 0;
     std::size_t step_ = 0;
     std::size_t task_ = 0;
+    std::size_t fetch_cursor_ = 0;
     QueryStats stats_;
 
     Tick step_start_ = 0;
@@ -548,6 +575,48 @@ SystemModel::placeOf(VectorId v, unsigned group) const
     return it->second;
 }
 
+void
+SystemModel::precomputeFetch(const std::vector<QueryTrace> &traces)
+{
+    if (!cfg_.prefetchReplay || ThreadPool::global().size() == 1)
+        return; // serial reference path simulates on the fly
+
+    // The dimension ranges every comparison is simulated over: the
+    // rank-group split for NDP designs (identical in every group, only
+    // ranks rotate), or the full vector for CPU designs.
+    std::vector<std::pair<unsigned, unsigned>> ranges;
+    if (isNdp(cfg_.design) && part_) {
+        for (const auto &s : part_->placement(0, 0))
+            ranges.emplace_back(s.dimBegin, s.dimEnd);
+    } else {
+        ranges.emplace_back(0, vs_.dims());
+    }
+    // Warm the plan cache once so the parallel phase only reads it.
+    for (const auto &[b, e] : ranges)
+        (void)fetchsim_->subPlan(e - b);
+
+    prefetch_.assign(traces.size(), {});
+    parallelFor(0, traces.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t q = lo; q < hi; ++q) {
+            auto &out = prefetch_[q];
+            const QueryTrace &tr = traces[q];
+            out.reserve(tr.numComparisons() * ranges.size());
+            for (const auto &s : tr.steps) {
+                for (const auto &t : s.tasks) {
+                    for (const auto &[b, e] : ranges) {
+                        const et::FetchResult fr =
+                            fetchsim_->simulateRange(tr.query.data(),
+                                                     t.vec, t.threshold,
+                                                     b, e);
+                        out.push_back(PreFetch{fr.lines, fr.backupLines,
+                                               fr.terminatedEarly});
+                    }
+                }
+            }
+        }
+    });
+}
+
 RunStats
 SystemModel::run(const std::vector<QueryTrace> &traces)
 {
@@ -558,6 +627,7 @@ SystemModel::run(const std::vector<QueryTrace> &traces)
     run_stats_ = &rs;
     traces_ = &traces;
     next_query_ = 0;
+    precomputeFetch(traces);
 
     const unsigned ctxs = std::min<unsigned>(
         cfg_.concurrentQueries,

@@ -45,6 +45,13 @@ struct SystemConfig
      * writes (the QSHR holds the query data).
      */
     unsigned qshrsPerQuery = 2;
+    /**
+     * Precompute all fetch-simulation results in parallel before the
+     * event replay (identical outcome either way; see
+     * precomputeFetch()). Off forces the on-the-fly reference path —
+     * used by the determinism tests, not a tuning knob.
+     */
+    bool prefetchReplay = true;
 
     dram::TimingParams timing{};
     dram::OrgParams org{};
@@ -176,10 +183,30 @@ class SystemModel
         std::uint64_t baseLine;
     };
 
+    /** Precomputed outcome of one FetchSimulator call during replay. */
+    struct PreFetch
+    {
+        unsigned lines;
+        unsigned backup;
+        bool terminated;
+    };
+
     class QueryContext;
     friend class QueryContext;
 
     void allocatePlacement(const std::vector<VectorId> &hot);
+
+    /**
+     * Fetch-simulate every comparison of every trace in parallel over
+     * the thread pool, in the exact (step, task, sub-vector) order the
+     * replay consumes them. The simulator is a pure function of
+     * (query, vector, threshold, dim range) — and the dimension split
+     * is the same in every rank group — so the event-driven replay
+     * stays serial and bit-identical while the expensive bound loops
+     * run on all cores. No-op with a single-threaded pool (the
+     * reference path computes on the fly).
+     */
+    void precomputeFetch(const std::vector<QueryTrace> &traces);
     const std::vector<SubPlace> &placeOf(VectorId v, unsigned group) const;
 
     /** Channel that carries NDP unit @p u's instructions. */
@@ -209,6 +236,9 @@ class SystemModel
     std::vector<std::uint64_t> rank_alloc_;
 
     // Run state.
+    // prefetch_[q] = PreFetch per simulator call of query q, in
+    // consumption order; empty when computing on the fly.
+    std::vector<std::vector<PreFetch>> prefetch_;
     const std::vector<QueryTrace> *traces_ = nullptr;
     std::size_t next_query_ = 0;
     std::vector<std::unique_ptr<QueryContext>> contexts_;

@@ -75,6 +75,7 @@ FetchSimulator::subPlan(unsigned dims) const
 {
     if (dims == vs_.dims())
         return plan_;
+    std::lock_guard<std::mutex> lk(sub_plans_mu_);
     auto it = sub_plans_.find(dims);
     if (it == sub_plans_.end()) {
         FetchPlanSpec plan;

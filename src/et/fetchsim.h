@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "anns/distance.h"
 #include "anns/vector.h"
@@ -107,7 +108,12 @@ class FetchSimulator
     /** Prefix-elimination state (kOpt only). */
     const PrefixElimination *prefixElimination() const { return pe_.get(); }
 
-    /** Plan for a sub-vector of @p dims dimensions (cached). */
+    /**
+     * Plan for a sub-vector of @p dims dimensions (cached). Safe to
+     * call concurrently: simulate()/simulateRange() are otherwise
+     * pure, so the timing layer precomputes fetch results across
+     * queries in parallel.
+     */
     const FetchPlanSpec &subPlan(unsigned dims) const;
 
   private:
@@ -138,6 +144,10 @@ class FetchSimulator
     FetchPlanSpec plan_;
     ValueInterval global_range_;
     std::unique_ptr<PrefixElimination> pe_;
+    // Lazily grown plan cache; entries are stable once inserted (the
+    // map guarantees reference stability), so only lookup/insert needs
+    // the lock.
+    mutable std::mutex sub_plans_mu_;
     mutable std::map<unsigned, FetchPlanSpec> sub_plans_;
 };
 

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Thread pool tests: exact range coverage, task submission, exception
+ * propagation, nested calls, and the ANSMET_THREADS=1 inline fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace ansmet {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 10000;
+    std::vector<std::atomic<unsigned>> hits(kN);
+    pool.parallelFor(
+        0, kN,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        /*grain=*/7);
+    for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForHonorsNonZeroBegin)
+{
+    ThreadPool pool(3);
+    std::atomic<std::size_t> sum{0};
+    pool.parallelFor(100, 200, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    // sum of [100, 200) = (100+199)*100/2
+    EXPECT_EQ(sum.load(), 14950u);
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(5, 5, [&](std::size_t, std::size_t) { called = true; });
+    pool.parallelFor(7, 3, [&](std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SubmitRunsTaskAndReturnsValue)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitRunsOnWorkerThread)
+{
+    ThreadPool pool(2); // one worker thread
+    const auto main_id = std::this_thread::get_id();
+    auto fut = pool.submit([] { return std::this_thread::get_id(); });
+    EXPECT_NE(fut.get(), main_id);
+}
+
+TEST(ThreadPool, SubmitPropagatesException)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit(
+        []() -> int { throw std::runtime_error("task boom"); });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstExceptionAndCompletes)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 512;
+    std::vector<std::atomic<unsigned>> hits(kN);
+    auto run = [&] {
+        pool.parallelFor(
+            0, kN,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i)
+                    hits[i].fetch_add(1, std::memory_order_relaxed);
+                if (lo <= kN / 2 && kN / 2 < hi)
+                    throw std::runtime_error("chunk boom");
+            },
+            /*grain=*/8);
+    };
+    EXPECT_THROW(run(), std::runtime_error);
+    // The failing chunk must not strand the rest of the range.
+    for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kOuter = 64;
+    constexpr std::size_t kInner = 100;
+    std::vector<std::size_t> sums(kOuter, 0);
+    pool.parallelFor(0, kOuter, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t o = lo; o < hi; ++o) {
+            // Nested call on a pool thread must degrade to a plain
+            // serial loop instead of waiting on pool capacity.
+            pool.parallelFor(0, kInner,
+                             [&](std::size_t ilo, std::size_t ihi) {
+                                 for (std::size_t i = ilo; i < ihi; ++i)
+                                     sums[o] += i;
+                             });
+        }
+    });
+    for (std::size_t o = 0; o < kOuter; ++o)
+        EXPECT_EQ(sums[o], kInner * (kInner - 1) / 2);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInlineInOneCall)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    const auto main_id = std::this_thread::get_id();
+    unsigned calls = 0;
+    pool.parallelFor(3, 40, [&](std::size_t lo, std::size_t hi) {
+        ++calls;
+        EXPECT_EQ(lo, 3u);
+        EXPECT_EQ(hi, 40u);
+        EXPECT_EQ(std::this_thread::get_id(), main_id);
+    });
+    EXPECT_EQ(calls, 1u); // no chunking on the serial reference path
+
+    // submit() also runs inline on the caller.
+    auto fut = pool.submit([main_id] {
+        EXPECT_EQ(std::this_thread::get_id(), main_id);
+        return 1;
+    });
+    EXPECT_EQ(fut.get(), 1);
+}
+
+TEST(ThreadPool, ConfiguredThreadsReadsEnv)
+{
+    const char *saved = std::getenv("ANSMET_THREADS");
+    const std::string saved_val = saved ? saved : "";
+
+    ::setenv("ANSMET_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::configuredThreads(), 3u);
+    ::setenv("ANSMET_THREADS", "1", 1);
+    EXPECT_EQ(ThreadPool::configuredThreads(), 1u);
+
+    // ANSMET_THREADS=1 must build a pool with zero workers.
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+
+    if (saved)
+        ::setenv("ANSMET_THREADS", saved_val.c_str(), 1);
+    else
+        ::unsetenv("ANSMET_THREADS");
+}
+
+TEST(ThreadPool, ManySequentialParallelFors)
+{
+    // Regression guard for job publication/unpublication races: the
+    // same pool must survive many back-to-back loops with results
+    // identical to serial accumulation.
+    ThreadPool pool(4);
+    std::size_t total = 0;
+    for (unsigned round = 0; round < 200; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(0, 97, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                sum.fetch_add(i + round, std::memory_order_relaxed);
+        });
+        total += sum.load();
+    }
+    std::size_t expect = 0;
+    for (unsigned round = 0; round < 200; ++round)
+        for (std::size_t i = 0; i < 97; ++i)
+            expect += i + round;
+    EXPECT_EQ(total, expect);
+}
+
+} // namespace
+} // namespace ansmet
