@@ -41,6 +41,18 @@ scale()
     return Scale::kDefault;
 }
 
+/**
+ * ANSMET_QUIET=1 silences progress chatter and the end-of-run timing
+ * line, leaving only the reproduced table/figure on stdout — what the
+ * CI output-comparison jobs diff.
+ */
+inline bool
+quiet()
+{
+    const char *env = std::getenv("ANSMET_QUIET");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 /** Standard experiment configuration for a dataset at the bench scale. */
 inline core::ExperimentConfig
 experimentConfig(anns::DatasetId id, std::size_t k = 10)
@@ -82,8 +94,9 @@ context(anns::DatasetId id, std::size_t k = 10)
     const auto key = std::make_pair(static_cast<int>(id), k);
     auto it = cache.find(key);
     if (it == cache.end()) {
-        std::fprintf(stderr, "[bench] preparing %s (k=%zu)...\n",
-                     anns::datasetSpec(id).name.c_str(), k);
+        if (!quiet())
+            std::fprintf(stderr, "[bench] preparing %s (k=%zu)...\n",
+                         anns::datasetSpec(id).name.c_str(), k);
         it = cache
                  .emplace(key, std::make_unique<core::ExperimentContext>(
                                    experimentConfig(id, k)))
@@ -115,7 +128,7 @@ banner(const char *what, const char *paper_ref)
     std::printf("Paper reference: %s\n", paper_ref);
     std::printf("==========================================================\n\n");
     static bool armed = false;
-    if (!armed) {
+    if (!armed && !quiet()) {
         armed = true;
         std::atexit([] {
             const double s = std::chrono::duration<double>(

@@ -13,7 +13,7 @@
 #include <limits>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/types.h"
 
 namespace ansmet::anns {
@@ -37,7 +37,7 @@ class ResultSet
   public:
     explicit ResultSet(std::size_t capacity) : capacity_(capacity)
     {
-        ANSMET_ASSERT(capacity > 0);
+        ANSMET_CHECK(capacity > 0, "result set needs capacity >= 1");
         heap_.reserve(capacity);
     }
 
@@ -63,6 +63,8 @@ class ResultSet
         if (!full()) {
             heap_.push_back(n);
             std::push_heap(heap_.begin(), heap_.end());
+            ANSMET_DCHECK(std::is_heap(heap_.begin(), heap_.end()),
+                          "result set lost its heap ordering");
             return true;
         }
         if (n.dist >= heap_.front().dist)
@@ -70,6 +72,10 @@ class ResultSet
         std::pop_heap(heap_.begin(), heap_.end());
         heap_.back() = n;
         std::push_heap(heap_.begin(), heap_.end());
+        ANSMET_DCHECK(heap_.size() == capacity_,
+                      "bounded result set changed size on replacement");
+        ANSMET_DCHECK(std::is_heap(heap_.begin(), heap_.end()),
+                      "result set lost its heap ordering");
         return true;
     }
 
@@ -113,19 +119,27 @@ class SearchSet
     {
         heap_.push_back(n);
         std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+        ANSMET_DCHECK(
+            std::is_heap(heap_.begin(), heap_.end(), std::greater<>()),
+            "search set lost its heap ordering");
     }
 
     Neighbor
     pop()
     {
-        ANSMET_ASSERT(!heap_.empty());
+        ANSMET_CHECK(!heap_.empty(), "pop from an empty search set");
         std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
         Neighbor n = heap_.back();
         heap_.pop_back();
         return n;
     }
 
-    const Neighbor &top() const { return heap_.front(); }
+    const Neighbor &
+    top() const
+    {
+        ANSMET_DCHECK(!heap_.empty(), "top of an empty search set");
+        return heap_.front();
+    }
 
   private:
     std::vector<Neighbor> heap_; // min-heap by dist

@@ -1,0 +1,40 @@
+#include "common/check.h"
+
+#include <cstdlib>
+
+namespace ansmet {
+
+namespace check_detail {
+
+namespace {
+
+bool
+auditInit()
+{
+    if (const char *env = std::getenv("ANSMET_AUDIT"))
+        return env[0] != '\0' && env[0] != '0';
+#if defined(ANSMET_AUDIT_DEFAULT_ON) || !defined(NDEBUG)
+    return true;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool &
+auditFlag()
+{
+    static bool flag = auditInit();
+    return flag;
+}
+
+} // namespace check_detail
+
+void
+setAuditEnabled(bool on)
+{
+    check_detail::auditFlag() = on;
+}
+
+} // namespace ansmet

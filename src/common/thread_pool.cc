@@ -3,7 +3,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace ansmet {
 
@@ -66,6 +66,7 @@ ThreadPool::enqueue(std::function<void()> task)
     }
     {
         std::lock_guard<std::mutex> lk(mu_);
+        ANSMET_CHECK(!stop_, "submit on a stopped thread pool");
         tasks_.push_back(std::move(task));
     }
     cv_.notify_one();
@@ -74,6 +75,8 @@ ThreadPool::enqueue(std::function<void()> task)
 void
 ThreadPool::runChunks(ForJob &job)
 {
+    ANSMET_DCHECK(job.grain > 0 && job.body,
+                  "parallelFor job published without chunks");
     const bool was_in_pool = tls_in_pool_work;
     tls_in_pool_work = true;
     for (;;) {
@@ -119,6 +122,10 @@ ThreadPool::workerLoop()
                 tasks_.pop_back();
             } else if (has_chunks()) {
                 job = for_job_;
+                // A job is unpublished before its completion flag is
+                // set, so a claimable job can never be finished.
+                ANSMET_DCHECK(!job->done,
+                              "worker claimed a completed parallelFor job");
                 job->active.fetch_add(1, std::memory_order_relaxed);
             } else {
                 continue;
@@ -169,8 +176,8 @@ ThreadPool::parallelFor(
 
     {
         std::lock_guard<std::mutex> lk(mu_);
-        ANSMET_ASSERT(!for_job_, "concurrent top-level parallelFor calls "
-                                 "on one pool are not supported");
+        ANSMET_CHECK(!for_job_, "concurrent top-level parallelFor calls "
+                                "on one pool are not supported");
         for_job_ = job;
     }
     cv_.notify_all();
@@ -189,8 +196,13 @@ ThreadPool::parallelFor(
         job->done_cv.wait(lk, [&job] {
             return job->active.load(std::memory_order_acquire) == 0;
         });
+        ANSMET_DCHECK(!job->done, "parallelFor job completed twice");
         job->done = true;
     }
+    // Every chunk must have been claimed before the job is torn down;
+    // a short cursor here would mean iterations were silently dropped.
+    ANSMET_CHECK(job->next.load(std::memory_order_relaxed) >= job->end,
+                 "parallelFor finished with unclaimed iterations");
     if (job->error)
         std::rethrow_exception(job->error);
 }

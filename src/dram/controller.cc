@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace ansmet::dram {
 
@@ -15,7 +15,7 @@ MemController::MemController(sim::EventQueue &eq, const TimingParams &tp,
       starvation_limit_(tp.cycles(2000)),
       stats_(std::move(name))
 {
-    ANSMET_ASSERT(num_ranks >= 1);
+    ANSMET_CHECK(num_ranks >= 1, "controller needs at least one rank");
     for (unsigned r = 0; r < num_ranks; ++r)
         ranks_.push_back(std::make_unique<RankDevice>(tp_, org_));
 }
@@ -23,7 +23,7 @@ MemController::MemController(sim::EventQueue &eq, const TimingParams &tp,
 void
 MemController::enqueue(unsigned rank, Request req)
 {
-    ANSMET_ASSERT(rank < ranks_.size(), "bad rank ", rank);
+    ANSMET_CHECK(rank < ranks_.size(), "bad rank ", rank);
     req.arrival = eq_.now();
     queue_.push_back(Pending{rank, std::move(req), next_order_++});
     ++stats_.counter(queue_.back().req.isWrite ? "writes" : "reads");
@@ -73,8 +73,8 @@ MemController::issueFor(Pending &p, const Candidate &c, Tick t)
       case Command::kWr: {
         const Tick data_end = dev.issueCol(p.req.addr, p.req.isWrite, t);
         const Tick data_start = data_end - tp_.cycles(tp_.tBL);
-        ANSMET_ASSERT(data_start >= data_bus_free_at_,
-                      "data bus overlap at ", data_start);
+        ANSMET_CHECK(data_start >= data_bus_free_at_,
+                     "data bus overlap at ", data_start);
         data_bus_free_at_ = data_end;
         data_bus_busy_ += tp_.cycles(tp_.tBL);
         stats_.scalar("queue_latency")
@@ -118,6 +118,8 @@ MemController::serveBusTransfers(Tick now, Tick before)
             return true;
         }
         const Tick data_end = t + data_latency + tp_.cycles(tp_.tBL);
+        ANSMET_DCHECK(t + data_latency >= data_bus_free_at_,
+                      "buffer-chip transfer overlaps a data burst");
         data_bus_free_at_ = data_end;
         data_bus_busy_ += tp_.cycles(tp_.tBL);
         cmd_bus_free_at_ = t + tp_.tCK;
@@ -214,6 +216,7 @@ MemController::kick()
 void
 MemController::scheduleKick(Tick when)
 {
+    ANSMET_DCHECK(when >= eq_.now(), "scheduler kick in the past: ", when);
     if (kick_at_ <= when)
         return; // an earlier (or equal) kick is already pending
     kick_at_ = when;

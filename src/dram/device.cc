@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace ansmet::dram {
 
@@ -28,12 +28,18 @@ RankDevice::RankDevice(const TimingParams &tp, const OrgParams &org)
 RankDevice::Bank &
 RankDevice::bank(const BankAddr &a)
 {
+    ANSMET_DCHECK(a.flatBank(org_.banksPerGroup) < banks_.size(),
+                  "bank address out of range: bg=", a.bankGroup,
+                  " bank=", a.bank);
     return banks_[a.flatBank(org_.banksPerGroup)];
 }
 
 const RankDevice::Bank &
 RankDevice::bank(const BankAddr &a) const
 {
+    ANSMET_DCHECK(a.flatBank(org_.banksPerGroup) < banks_.size(),
+                  "bank address out of range: bg=", a.bankGroup,
+                  " bank=", a.bank);
     return banks_[a.flatBank(org_.banksPerGroup)];
 }
 
@@ -44,6 +50,7 @@ RankDevice::catchUpRefresh(Tick now)
         // All-bank refresh: banks close, rank blocks for tRFC.
         const Tick start = std::max(nextRefreshAt_, refreshBlockedUntil_);
         const Tick end = start + tp_.cycles(tp_.tRFC);
+        ANSMET_DCHECK(end > start, "refresh must advance the blocked window");
         for (auto &b : banks_) {
             b.openRow.reset();
             b.actAllowedAt = std::max(b.actAllowedAt, end);
@@ -89,7 +96,7 @@ Tick
 RankDevice::earliestAct(const BankAddr &a, Tick now) const
 {
     const Bank &b = bank(a);
-    ANSMET_ASSERT(!b.openRow, "ACT to a bank with an open row");
+    ANSMET_CHECK(!b.openRow, "ACT to a bank with an open row");
     return std::max(b.actAllowedAt, rankActConstraint(a.bankGroup, now));
 }
 
@@ -112,7 +119,7 @@ void
 RankDevice::issueAct(const BankAddr &a, Tick t)
 {
     Bank &b = bank(a);
-    ANSMET_ASSERT(t >= earliestAct(a, t) - 0, "ACT timing violation");
+    ANSMET_CHECK(t >= earliestAct(a, t), "ACT timing violation at ", t);
     b.openRow = a.row;
     b.colAllowedAt = t + tp_.cycles(tp_.tRCD);
     b.preAllowedAt = t + tp_.cycles(tp_.tRAS);
@@ -133,6 +140,7 @@ void
 RankDevice::issuePre(const BankAddr &a, Tick t)
 {
     Bank &b = bank(a);
+    ANSMET_DCHECK(t >= earliestPre(a, t), "PRE timing violation at ", t);
     b.openRow.reset();
     b.actAllowedAt = std::max(b.actAllowedAt, t + tp_.cycles(tp_.tRP));
     record(Command::kPre, a, t);
@@ -142,8 +150,10 @@ Tick
 RankDevice::issueCol(const BankAddr &a, bool is_write, Tick t)
 {
     Bank &b = bank(a);
-    ANSMET_ASSERT(b.openRow && *b.openRow == a.row,
-                  "column command to a closed/incorrect row");
+    ANSMET_CHECK(b.openRow && *b.openRow == a.row,
+                 "column command to a closed/incorrect row");
+    ANSMET_DCHECK(t >= earliestCol(a, is_write, t),
+                  "column timing violation at ", t);
 
     const unsigned latency = is_write ? tp_.tCWL : tp_.tCL;
     const Tick data_start = t + tp_.cycles(latency);

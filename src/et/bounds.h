@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "anns/distance.h"
+#include "common/check.h"
 #include "et/sortable.h"
 
 namespace ansmet::et {
@@ -64,10 +65,22 @@ class BoundAccumulator
     void
     update(unsigned d, ValueInterval iv)
     {
+        ANSMET_DCHECK(d < dims_, "bound update for dimension ", d,
+                      " of ", dims_);
         ValueInterval &cur = interval_[d];
         cur.lo = std::max(cur.lo, iv.lo);
         cur.hi = std::min(cur.hi, iv.hi);
+        ANSMET_DCHECK(cur.lo <= cur.hi,
+                      "inconsistent interval knowledge for dimension ", d,
+                      ": [", cur.lo, ", ", cur.hi, "]");
         const double c = contribution(d, cur);
+        // Narrowing an interval can only tighten the bound: the L2
+        // contribution (min gap^2) grows, the IP contribution (max dot
+        // term, later negated) shrinks. Both formulas are monotone in
+        // the endpoints, exactly, even in floating point.
+        ANSMET_DCHECK(metric_ == Metric::kL2 ? c >= contrib_[d]
+                                             : c <= contrib_[d],
+                      "bound loosened by an update on dimension ", d);
         total_ += c - contrib_[d];
         contrib_[d] = c;
     }

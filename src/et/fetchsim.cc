@@ -2,7 +2,7 @@
 
 #include <limits>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace ansmet::et {
 
@@ -113,7 +113,8 @@ FetchSimulator::simulateRange(const float *query, VectorId v,
                               double threshold, unsigned dim_begin,
                               unsigned dim_end) const
 {
-    ANSMET_ASSERT(dim_begin < dim_end && dim_end <= vs_.dims());
+    ANSMET_CHECK(dim_begin < dim_end && dim_end <= vs_.dims(),
+                 "bad dimension range [", dim_begin, ", ", dim_end, ")");
     const FetchPlanSpec &plan = subPlan(dim_end - dim_begin);
 
     FetchResult res;
@@ -146,9 +147,17 @@ FetchSimulator::simulateRange(const float *query, VectorId v,
         }
     }
 
+    // Each fetch step may only tighten the conservative bound; a
+    // decreasing bound would mean the accumulator forgot knowledge and
+    // early termination is no longer trustworthy.
+    double prev_bound = acc.lowerBound();
+
     while (!cursor.done()) {
         const LineInfo info = cursor.next();
         ++res.lines;
+        ANSMET_DCHECK(res.lines <= plan.totalLines(),
+                      "fetch cursor overran the layout: ", res.lines,
+                      " of ", plan.totalLines());
 
         for (unsigned sd = info.dimBegin; sd < info.dimEnd; ++sd) {
             const unsigned d = dim_begin + sd;
@@ -165,16 +174,34 @@ FetchSimulator::simulateRange(const float *query, VectorId v,
                                              known));
         }
 
+        ANSMET_DCHECK(acc.lowerBound() >= prev_bound,
+                      "lower bound regressed across a fetch step: ",
+                      acc.lowerBound(), " < ", prev_bound);
+        prev_bound = acc.lowerBound();
+
         if (boundExceeds(acc.lowerBound(), threshold)) {
             res.terminatedEarly = true;
             res.estimate = acc.lowerBound();
-            ANSMET_ASSERT(!res.accepted,
-                          "early termination rejected an accepted vector");
+            // Lossless-vs-exact agreement: the schemes are designed so
+            // termination never rejects a vector the exact comparison
+            // accepts. This is THE correctness claim of the paper.
+            ANSMET_CHECK(!res.accepted,
+                         "early termination rejected an accepted vector");
             return res;
         }
     }
 
     res.estimate = acc.lowerBound();
+    // A full fetch of a non-outlier vector reveals every stored bit, so
+    // the accumulated bound must still lie below the exact distance (up
+    // to summation-order noise); anything larger would have made a
+    // lossy reject possible.
+    ANSMET_DCHECK(is_outlier ||
+                      res.estimate <=
+                          res.exactDist +
+                              1e-6 * (1.0 + std::abs(res.exactDist)),
+                  "final bound ", res.estimate, " exceeds exact distance ",
+                  res.exactDist);
 
     // In-bound result on an outlier vector: the dropped low bits make
     // the estimate inexact, so re-check this rank's share of the

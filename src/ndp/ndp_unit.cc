@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.h"
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace ansmet::ndp {
 
@@ -22,8 +22,15 @@ NdpUnit::NdpUnit(sim::EventQueue &eq, const NdpParams &np,
 void
 NdpUnit::submit(unsigned qshr, NdpTask task)
 {
-    ANSMET_ASSERT(qshr < qshrs_.size(), "bad QSHR id");
+    ANSMET_CHECK(qshr < qshrs_.size(), "bad QSHR id ", qshr, " (unit has ",
+                 qshrs_.size(), ")");
     QshrState &q = qshrs_[qshr];
+    // An inactive QSHR must hold no half-executed task state; anything
+    // else means a slot was recycled without completing (double free).
+    ANSMET_DCHECK(q.active ||
+                      (q.fifo.empty() && q.linesToIssue == 0 &&
+                       q.linesInFlight == 0),
+                  "idle QSHR ", qshr, " holds stale task state");
     q.fifo.push_back(std::move(task));
     if (!q.active)
         startNext(qshr);
@@ -33,6 +40,8 @@ void
 NdpUnit::startNext(unsigned qshr)
 {
     QshrState &q = qshrs_[qshr];
+    ANSMET_DCHECK(q.linesToIssue == 0 && q.linesInFlight == 0,
+                  "QSHR ", qshr, " started a task with fetches in flight");
     if (q.fifo.empty()) {
         q.active = false;
         return;
@@ -52,6 +61,7 @@ void
 NdpUnit::issueWindow(unsigned qshr)
 {
     QshrState &q = qshrs_[qshr];
+    ANSMET_DCHECK(q.active, "fetch issue on inactive QSHR ", qshr);
     while (q.linesToIssue > 0 &&
            q.linesInFlight < np_.fetchPipelineDepth) {
         dram::Request req;
@@ -72,7 +82,12 @@ void
 NdpUnit::lineArrived(unsigned qshr, Tick when)
 {
     QshrState &q = qshrs_[qshr];
-    ANSMET_ASSERT(q.active && q.linesInFlight > 0);
+    ANSMET_CHECK(q.active && q.linesInFlight > 0,
+                 "line arrival on QSHR ", qshr, " with no fetch outstanding");
+    ANSMET_DCHECK(!q.fifo.empty(), "line arrival on QSHR ", qshr,
+                  " with no task");
+    ANSMET_DCHECK(q.linesInFlight <= np_.fetchPipelineDepth,
+                  "fetch window overflow on QSHR ", qshr);
     --q.linesInFlight;
 
     // The distance computing unit consumes the line, plus one cycle
@@ -82,6 +97,7 @@ NdpUnit::lineArrived(unsigned qshr, Tick when)
         std::max(1u, t.computeCyclesPerLine) + 1;
     const Tick start = std::max(when, compute_free_at_);
     const Tick end = start + cycles * np_.period();
+    ANSMET_DCHECK(end > start, "compute occupancy must advance");
     compute_free_at_ = end;
     compute_busy_ += end - start;
 
@@ -95,6 +111,12 @@ NdpUnit::lineArrived(unsigned qshr, Tick when)
     // Task complete at the end of the final bound/distance computation.
     eq_.schedule(end, [this, qshr, end] {
         QshrState &qs = qshrs_[qshr];
+        ANSMET_CHECK(qs.active && !qs.fifo.empty(),
+                     "task completion on empty QSHR ", qshr,
+                     " (slot double free)");
+        ANSMET_DCHECK(qs.linesToIssue == 0 && qs.linesInFlight == 0,
+                      "task completed on QSHR ", qshr,
+                      " with fetches outstanding");
         NdpTask done = std::move(qs.fifo.front());
         qs.fifo.pop_front();
         ++tasks_completed_;

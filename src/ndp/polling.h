@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 
 namespace ansmet::ndp {
@@ -56,9 +57,19 @@ class PollingEstimator
                      Tick fixed)
         : per_line_(per_line), fixed_(fixed)
     {
+        ANSMET_CHECK(!fetch_dist.empty(),
+                     "polling estimator needs a fetch-count distribution");
         double e = 0.0;
-        for (std::size_t i = 0; i < fetch_dist.size(); ++i)
+        double mass = 0.0;
+        for (std::size_t i = 0; i < fetch_dist.size(); ++i) {
+            ANSMET_DCHECK(fetch_dist[i] >= 0.0,
+                          "negative fetch-count probability at ", i);
             e += fetch_dist[i] * static_cast<double>(i);
+            mass += fetch_dist[i];
+        }
+        ANSMET_DCHECK(mass > 1.0 - 1e-6 && mass < 1.0 + 1e-6,
+                      "fetch-count distribution mass is ", mass,
+                      ", expected 1");
         expected_lines_ = e;
     }
 
@@ -66,6 +77,8 @@ class PollingEstimator
     Tick
     expectedLatency(std::size_t tasks) const
     {
+        ANSMET_DCHECK(tasks > 0,
+                      "completion prediction for an empty QSHR batch");
         const double per_task =
             expected_lines_ * static_cast<double>(per_line_) +
             static_cast<double>(fixed_);

@@ -17,7 +17,7 @@
 #include <queue>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/types.h"
 
 namespace ansmet::sim {
@@ -46,9 +46,11 @@ class EventQueue
     std::uint64_t
     schedule(Tick when, Callback cb, Priority prio = kDefaultPriority)
     {
-        ANSMET_ASSERT(when >= now_, "scheduling in the past: ", when,
-                      " < ", now_);
+        ANSMET_CHECK(when >= now_, "scheduling in the past: ", when,
+                     " < ", now_);
         const std::uint64_t id = next_id_++;
+        ANSMET_DCHECK(id != ~std::uint64_t{0},
+                      "event id space exhausted; tie-break order would wrap");
         heap_.push(Entry{when, prio, id, std::move(cb)});
         return id;
     }
@@ -61,7 +63,12 @@ class EventQueue
     }
 
     /** Cancel a pending event by handle (lazy deletion). */
-    void deschedule(std::uint64_t id) { cancelled_.push_back(id); }
+    void
+    deschedule(std::uint64_t id)
+    {
+        ANSMET_DCHECK(id < next_id_, "descheduling unknown handle ", id);
+        cancelled_.push_back(id);
+    }
 
     /** Run until the queue is empty or @p limit is reached. */
     void
@@ -76,7 +83,9 @@ class EventQueue
                 heap_.pop();
                 continue;
             }
-            ANSMET_ASSERT(top.when >= now_);
+            ANSMET_DCHECK(top.when >= now_,
+                          "event queue time ran backwards: ", top.when,
+                          " < ", now_);
             now_ = top.when;
             Callback cb = std::move(top.cb);
             heap_.pop();
@@ -108,6 +117,9 @@ class EventQueue
         if (heap_.empty())
             return false;
         const Entry &top = heap_.top();
+        ANSMET_DCHECK(top.when >= now_,
+                      "event queue time ran backwards: ", top.when, " < ",
+                      now_);
         now_ = top.when;
         Callback cb = std::move(top.cb);
         heap_.pop();
@@ -173,7 +185,7 @@ class Clocked
   public:
     Clocked(EventQueue &eq, Tick period) : eq_(eq), period_(period)
     {
-        ANSMET_ASSERT(period > 0);
+        ANSMET_CHECK(period > 0, "clocked component with zero period");
     }
 
     virtual ~Clocked() = default;

@@ -159,6 +159,19 @@ TEST(SearchSet, MinHeapOrder)
     EXPECT_TRUE(ss.empty());
 }
 
+TEST(HeapInvariants, ZeroCapacityResultSetPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(ResultSet rs(0), "result set needs capacity >= 1");
+}
+
+TEST(HeapInvariants, PopFromEmptySearchSetPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    SearchSet ss;
+    EXPECT_DEATH(ss.pop(), "pop from an empty search set");
+}
+
 TEST(BruteForce, FindsExactNeighbors)
 {
     VectorSet vs(100, 4, ScalarType::kFp32);

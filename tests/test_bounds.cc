@@ -193,5 +193,47 @@ TEST(Bounds, PaperPartialDimensionExample)
     EXPECT_DOUBLE_EQ(acc.lowerBound(), 25.0);
 }
 
+TEST(BoundInvariants, UpdatesOnlyEverTightenTheBound)
+{
+    const float q[3] = {1.0f, -2.0f, 0.5f};
+    for (const Metric m : {Metric::kL2, Metric::kIp}) {
+        BoundAccumulator acc(m, q, 3, {-8.0, 8.0});
+        double prev = acc.lowerBound();
+        // Progressively narrower knowledge about each dimension; the
+        // audit layer inside update() verifies per-dimension
+        // monotonicity, this loop verifies the aggregate.
+        for (double width = 8.0; width > 0.01; width /= 2.0) {
+            for (unsigned d = 0; d < 3; ++d)
+                acc.update(d, {-width / (d + 1), width / (d + 1)});
+            EXPECT_GE(acc.lowerBound(), prev) << "metric "
+                                              << static_cast<int>(m);
+            prev = acc.lowerBound();
+        }
+    }
+}
+
+TEST(BoundInvariants, OutOfRangeDimensionFailsAudit)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    setAuditEnabled(true);
+    const float q[2] = {0.0f, 0.0f};
+    BoundAccumulator acc(Metric::kL2, q, 2, {-1.0, 1.0});
+    EXPECT_DEATH(acc.update(2, {0.0, 0.5}), "dimension 2 of 2");
+    setAuditEnabled(false);
+}
+
+TEST(BoundInvariants, InconsistentIntervalKnowledgeFailsAudit)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    setAuditEnabled(true);
+    const float q[1] = {0.0f};
+    BoundAccumulator acc(Metric::kL2, q, 1, {-1.0, 1.0});
+    acc.update(0, {0.5, 1.0});
+    // Disjoint from everything previously known about the dimension:
+    // the intersection is empty, which means the fetched bits lied.
+    EXPECT_DEATH(acc.update(0, {-1.0, 0.2}), "inconsistent interval");
+    setAuditEnabled(false);
+}
+
 } // namespace
 } // namespace ansmet::et

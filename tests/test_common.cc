@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bitops.h"
+#include "common/check.h"
 #include "common/prng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -240,6 +241,39 @@ TEST(Clocked, Conversions)
     EXPECT_EQ(c.cyclesToTicks(10), 4160u);
     EXPECT_EQ(c.ticksToCycles(4160), 10u);
     EXPECT_EQ(c.ticksToCycles(4161), 11u);
+}
+
+TEST(Check, PassingConditionsAreSilent)
+{
+    ANSMET_CHECK(1 + 1 == 2, "arithmetic broke");
+    ANSMET_DCHECK(true, "never evaluated");
+}
+
+TEST(Check, FailedCheckPanicsWithMessage)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const int lines = 3;
+    EXPECT_DEATH(ANSMET_CHECK(lines == 4, "expected 4, got ", lines),
+                 "check failed: lines == 4 expected 4, got 3");
+}
+
+TEST(Check, DcheckHonorsAuditToggle)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    setAuditEnabled(false);
+    int evaluations = 0;
+    // Disabled audit: condition is not even evaluated.
+    ANSMET_DCHECK(++evaluations > 0, "unreachable");
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_FALSE(auditEnabled());
+
+    setAuditEnabled(true);
+    EXPECT_TRUE(auditEnabled());
+    ANSMET_DCHECK(++evaluations > 0, "passes");
+    EXPECT_EQ(evaluations, 1);
+    EXPECT_DEATH(ANSMET_DCHECK(false, "audit caught it"),
+                 "dcheck failed: false audit caught it");
+    setAuditEnabled(false);
 }
 
 } // namespace

@@ -58,12 +58,15 @@ verifyTrace(const std::vector<CommandRecord> &trace, const TimingParams &tp,
         switch (c.cmd) {
           case Command::kAct:
             ASSERT_FALSE(b.open) << "ACT on open bank @" << c.tick;
-            if (b.sawAct)
+            if (b.sawAct) {
                 EXPECT_GE(c.tick, b.lastAct + tp.cycles(tp.tRC));
-            if (b.sawPre)
+            }
+            if (b.sawPre) {
                 EXPECT_GE(c.tick, b.lastPre + tp.cycles(tp.tRP));
-            if (sawActRank)
+            }
+            if (sawActRank) {
                 EXPECT_GE(c.tick, lastActRank + tp.cycles(tp.tRRD_S));
+            }
             actWindow.push_back(c.tick);
             if (actWindow.size() > 4)
                 actWindow.erase(actWindow.begin());
@@ -80,8 +83,9 @@ verifyTrace(const std::vector<CommandRecord> &trace, const TimingParams &tp,
           case Command::kPre:
             ASSERT_TRUE(b.open);
             EXPECT_GE(c.tick, b.lastAct + tp.cycles(tp.tRAS));
-            if (b.sawCol)
+            if (b.sawCol) {
                 EXPECT_GE(c.tick, b.lastCol + tp.cycles(tp.tRTP));
+            }
             b.lastPre = c.tick;
             b.sawPre = true;
             b.open = false;
@@ -343,6 +347,51 @@ TEST(Power, EnergyScalesWithActivity)
     EXPECT_GT(active.rdWrCoreNj, 0.0);
     EXPECT_GT(active.ioNj, 0.0);
     EXPECT_GT(active.totalNj(), idle.totalNj());
+}
+
+TEST(DeviceInvariants, ColumnToClosedRowPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    RankDevice dev(timing(), smallOrg());
+    const BankAddr a{0, 0, 5, 0};
+    EXPECT_DEATH(dev.issueCol(a, false, 100),
+                 "column command to a closed/incorrect row");
+}
+
+TEST(DeviceInvariants, ColumnToWrongRowPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    RankDevice dev(timing(), smallOrg());
+    const BankAddr opened{0, 0, 5, 0};
+    dev.issueAct(opened, dev.earliestAct(opened, 0));
+    const BankAddr wrong{0, 0, 6, 0};
+    EXPECT_DEATH(dev.issueCol(wrong, false,
+                              dev.earliestCol(wrong, false, 1000000)),
+                 "closed/incorrect row");
+}
+
+TEST(DeviceInvariants, ActOnOpenBankPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    RankDevice dev(timing(), smallOrg());
+    const BankAddr a{0, 0, 5, 0};
+    dev.issueAct(a, dev.earliestAct(a, 0));
+    const BankAddr other_row{0, 0, 9, 0};
+    EXPECT_DEATH(dev.issueAct(other_row, 1000000),
+                 "ACT to a bank with an open row");
+}
+
+TEST(DeviceInvariants, ActTimingViolationPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const TimingParams tp = timing();
+    RankDevice dev(tp, smallOrg());
+    const BankAddr a{0, 0, 5, 0};
+    dev.issueAct(a, dev.earliestAct(a, 0));
+    dev.issuePre(a, dev.earliestPre(a, tp.cycles(tp.tRAS)));
+    // Re-activating before tRP after the precharge violates timing.
+    EXPECT_DEATH(dev.issueAct(a, dev.earliestAct(a, 0) - 1),
+                 "ACT timing violation");
 }
 
 } // namespace

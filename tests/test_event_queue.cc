@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Dedicated event-queue tests: same-timestamp tie-break determinism,
+ * the ordering invariants added by the audit layer, cancellation, and
+ * the Clocked cycle<->tick helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/event_queue.h"
+
+namespace ansmet::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<Tick> seen;
+    eq.schedule(30, [&] { seen.push_back(30); });
+    eq.schedule(10, [&] { seen.push_back(10); });
+    eq.schedule(20, [&] { seen.push_back(20); });
+    eq.run();
+    EXPECT_EQ(seen, (std::vector<Tick>{10, 20, 30}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, SameTickPriorityThenInsertionOrder)
+{
+    EventQueue eq;
+    std::string order;
+    // All at tick 100: priority breaks ties first, then insertion
+    // order. This exact order is what makes replays bit-identical.
+    eq.schedule(100, [&] { order += 'c'; }, 1);
+    eq.schedule(100, [&] { order += 'a'; }, -1);
+    eq.schedule(100, [&] { order += 'd'; }, 1);
+    eq.schedule(100, [&] { order += 'b'; }, 0);
+    eq.run();
+    EXPECT_EQ(order, "abcd");
+}
+
+TEST(EventQueue, InsertionOrderStableAcrossInterleavedScheduling)
+{
+    // Events scheduled from within callbacks still honor (tick, prio,
+    // insertion) ordering relative to already-pending events.
+    EventQueue eq;
+    std::string order;
+    eq.schedule(10, [&] {
+        order += 'a';
+        eq.schedule(20, [&] { order += 'x'; });
+    });
+    eq.schedule(20, [&] { order += 'b'; });
+    eq.run();
+    EXPECT_EQ(order, "abx");
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.run();
+    ASSERT_EQ(eq.now(), 50u);
+    EXPECT_DEATH(eq.schedule(10, [] {}), "scheduling in the past");
+}
+
+TEST(EventQueue, DescheduleUnknownHandleDies)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    setAuditEnabled(true);
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    EXPECT_DEATH(eq.deschedule(7), "unknown handle");
+    setAuditEnabled(false);
+}
+
+TEST(EventQueue, DeschedulePreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    const auto id = eq.schedule(10, [&] { ran = true; });
+    eq.schedule(5, [&, id] { eq.deschedule(id); });
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    eq.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 1u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, ResetRestartsClock)
+{
+    EventQueue eq;
+    eq.schedule(42, [] {});
+    eq.run();
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    // Post-reset, early ticks are schedulable again.
+    bool ran = false;
+    eq.schedule(1, [&] { ran = true; });
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.run(15);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Clocked, ConversionsAndEdges)
+{
+    EventQueue eq;
+    Clocked c(eq, 833); // ~1.2 GHz in ps
+    EXPECT_EQ(c.cyclesToTicks(0), 0u);
+    EXPECT_EQ(c.cyclesToTicks(3), 2499u);
+    EXPECT_EQ(c.ticksToCycles(1), 1u);
+    EXPECT_EQ(c.ticksToCycles(833), 1u);
+    EXPECT_EQ(c.ticksToCycles(834), 2u);
+    EXPECT_EQ(c.nextEdge(), 0u);
+    eq.schedule(1, [] {});
+    eq.run();
+    EXPECT_EQ(c.nextEdge(), 833u);
+}
+
+TEST(Clocked, ZeroPeriodPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EventQueue eq;
+    EXPECT_DEATH(Clocked(eq, 0), "zero period");
+}
+
+} // namespace
+} // namespace ansmet::sim

@@ -263,5 +263,40 @@ TEST(FetchSim, EstimateIsConservative)
     }
 }
 
+TEST(FetchSimInvariants, AuditCleanAcrossSchemes)
+{
+    // Run the fetch loop with the audit layer live: every per-step
+    // DCHECK (bound monotonicity, cursor limits, final bound vs exact
+    // distance) fires on violation, so a clean pass demonstrates the
+    // invariants hold across schemes and thresholds.
+    setAuditEnabled(true);
+    const Workload &w = workload(DatasetId::kDeep);
+    for (const EtScheme s : {EtScheme::kBitSerial, EtScheme::kHeuristic,
+                             EtScheme::kDual, EtScheme::kOpt}) {
+        const FetchSimulator sim(*w.ds.base, w.ds.metric(), s, &w.profile);
+        for (const auto &q : w.ds.queries) {
+            for (VectorId v = 0; v < 100; ++v) {
+                // A tight threshold exercises early termination, the
+                // infinite one exercises the full-fetch final check.
+                (void)sim.simulate(q.data(), v, 1.0);
+                (void)sim.simulate(
+                    q.data(), v, std::numeric_limits<double>::infinity());
+            }
+        }
+    }
+    setAuditEnabled(false);
+}
+
+TEST(FetchSimInvariants, BadDimensionRangePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const Workload &w = workload(DatasetId::kDeep);
+    const FetchSimulator sim(*w.ds.base, w.ds.metric(), EtScheme::kHeuristic,
+                             &w.profile);
+    const auto &q = w.ds.queries.front();
+    EXPECT_DEATH(sim.simulateRange(q.data(), 0, 1.0, 5, 5),
+                 "bad dimension range");
+}
+
 } // namespace
 } // namespace ansmet::et

@@ -208,5 +208,35 @@ TEST(HostCpu, UncachedTransfersComplete)
     EXPECT_EQ(done, 2);
 }
 
+TEST(NdpUnitInvariants, SubmitToBadQshrPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    sim::EventQueue eq;
+    const dram::TimingParams tp;
+    NdpParams np;
+    NdpUnit unit(eq, np, tp, smallOrg(), 0);
+    NdpTask task;
+    task.lines = 1;
+    EXPECT_DEATH(unit.submit(np.numQshrs, std::move(task)), "bad QSHR id");
+}
+
+TEST(PollingInvariants, EmptyDistributionPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(PollingEstimator({}, 100, 100),
+                 "needs a fetch-count distribution");
+}
+
+TEST(PollingInvariants, UnnormalizedDistributionFailsAudit)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    setAuditEnabled(true);
+    // Mass 1.5: a distribution this broken would silently skew every
+    // adaptive-polling prediction.
+    EXPECT_DEATH(PollingEstimator({0.5, 1.0}, 100, 100),
+                 "distribution mass");
+    setAuditEnabled(false);
+}
+
 } // namespace
 } // namespace ansmet::ndp

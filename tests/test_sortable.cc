@@ -68,10 +68,12 @@ TEST_P(SortableTest, KeysAreMonotone)
         const double vb = keyToValue(t, toKey(t, rb));
         const std::uint32_t ka = toKey(t, ra);
         const std::uint32_t kb = toKey(t, rb);
-        if (va < vb)
+        if (va < vb) {
             EXPECT_LT(ka, kb) << va << " vs " << vb;
-        if (va > vb)
+        }
+        if (va > vb) {
             EXPECT_GT(ka, kb);
+        }
     }
 }
 

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Thread-pool stress tests aimed at the race detector: concurrent
+ * submit() from many threads, nested parallelFor from inside pool
+ * work, and exception propagation from several chunks at once. The
+ * iteration counts are sized so a TSan build gets enough interleavings
+ * to bite while a plain build stays under a second.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace ansmet {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentSubmitFromManyThreads)
+{
+    ThreadPool pool(4);
+    static constexpr int kSubmitters = 4;
+    static constexpr int kTasksEach = 200;
+    std::atomic<int> executed{0};
+
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<int>>> futures(kSubmitters);
+    submitters.reserve(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+            futures[s].reserve(kTasksEach);
+            for (int t = 0; t < kTasksEach; ++t) {
+                futures[s].push_back(pool.submit([&executed, s, t] {
+                    executed.fetch_add(1, std::memory_order_relaxed);
+                    return s * kTasksEach + t;
+                }));
+            }
+        });
+    }
+    for (auto &th : submitters)
+        th.join();
+
+    long long sum = 0;
+    for (auto &fs : futures)
+        for (auto &f : fs)
+            sum += f.get();
+    EXPECT_EQ(executed.load(), kSubmitters * kTasksEach);
+    const long long n = kSubmitters * kTasksEach;
+    EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolStress, NestedParallelForRunsEveryIteration)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kOuter = 64;
+    constexpr std::size_t kInner = 64;
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+
+    for (int round = 0; round < 10; ++round) {
+        pool.parallelFor(0, kOuter, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t o = lo; o < hi; ++o) {
+                // Nested call: must degrade to inline execution, not
+                // deadlock on pool capacity.
+                pool.parallelFor(
+                    0, kInner, [&, o](std::size_t ilo, std::size_t ihi) {
+                        for (std::size_t i = ilo; i < ihi; ++i)
+                            hits[o * kInner + i].fetch_add(
+                                1, std::memory_order_relaxed);
+                    });
+            }
+        }, 1);
+    }
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 10) << "iteration " << i;
+}
+
+TEST(ThreadPoolStress, SubmitDuringParallelFor)
+{
+    ThreadPool pool(4);
+    std::atomic<int> task_hits{0};
+    std::atomic<long long> iter_hits{0};
+
+    // submit() from inside pool work runs inline; from outside it
+    // shares the worker queue with the active parallelFor job.
+    std::thread outside([&] {
+        std::vector<std::future<void>> fs;
+        fs.reserve(100);
+        for (int i = 0; i < 100; ++i) {
+            fs.push_back(pool.submit([&] {
+                task_hits.fetch_add(1, std::memory_order_relaxed);
+            }));
+        }
+        for (auto &f : fs)
+            f.get();
+    });
+    for (int round = 0; round < 20; ++round) {
+        pool.parallelFor(0, 512, [&](std::size_t lo, std::size_t hi) {
+            iter_hits.fetch_add(static_cast<long long>(hi - lo),
+                                std::memory_order_relaxed);
+            pool.submit([&] {
+                task_hits.fetch_add(1, std::memory_order_relaxed);
+            }).get();
+        }, 8);
+    }
+    outside.join();
+    EXPECT_EQ(iter_hits.load(), 20 * 512);
+    EXPECT_GE(task_hits.load(), 100);
+}
+
+TEST(ThreadPoolStress, ExceptionFromManyChunksPropagatesOnce)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<std::size_t> ran{0};
+        bool threw = false;
+        try {
+            pool.parallelFor(0, 256, [&](std::size_t lo, std::size_t hi) {
+                ran.fetch_add(hi - lo, std::memory_order_relaxed);
+                // Every chunk throws; exactly one exception must
+                // surface, after the whole range has been claimed.
+                throw std::runtime_error("chunk failure");
+            }, 4);
+        } catch (const std::runtime_error &e) {
+            threw = true;
+            EXPECT_STREQ(e.what(), "chunk failure");
+        }
+        EXPECT_TRUE(threw);
+        EXPECT_EQ(ran.load(), 256u);
+    }
+}
+
+TEST(ThreadPoolStress, ExceptionThroughSubmitFuture)
+{
+    ThreadPool pool(4);
+    auto fut = pool.submit([]() -> int {
+        throw std::logic_error("task failure");
+    });
+    EXPECT_THROW(fut.get(), std::logic_error);
+}
+
+TEST(ThreadPoolStress, SequentialParallelForsStayDeterministic)
+{
+    ThreadPool pool(4);
+    std::vector<std::size_t> out(4096);
+    for (int round = 0; round < 20; ++round) {
+        pool.parallelFor(0, out.size(),
+                         [&](std::size_t lo, std::size_t hi) {
+                             for (std::size_t i = lo; i < hi; ++i)
+                                 out[i] = i * i;
+                         });
+        const std::size_t spot = 1234;
+        ASSERT_EQ(out[spot], spot * spot);
+    }
+}
+
+} // namespace
+} // namespace ansmet
