@@ -11,11 +11,23 @@ std::vector<Neighbor>
 bruteForceKnn(Metric m, const float *query, const VectorSet &vs,
               std::size_t k)
 {
+    // Chunked through the batched distance kernel: one dispatch per
+    // block instead of one per vector, with next-row prefetch inside
+    // the kernel. Offers happen per block, so results match the
+    // one-at-a-time loop exactly.
+    constexpr std::size_t kChunk = 256;
+    VectorId ids[kChunk];
+    double dist[kChunk];
+
     ResultSet rs(k);
     const std::size_t n = vs.size();
-    for (std::size_t v = 0; v < n; ++v) {
-        const auto id = static_cast<VectorId>(v);
-        rs.offer({distance(m, query, vs, id), id});
+    for (std::size_t base = 0; base < n; base += kChunk) {
+        const std::size_t m_block = std::min(kChunk, n - base);
+        for (std::size_t i = 0; i < m_block; ++i)
+            ids[i] = static_cast<VectorId>(base + i);
+        distanceBatch(m, query, vs, ids, m_block, dist);
+        for (std::size_t i = 0; i < m_block; ++i)
+            rs.offer({dist[i], ids[i]});
     }
     return rs.sorted();
 }

@@ -9,6 +9,13 @@
  * smaller is always better for every metric. Cosine reduces to IP
  * after offline normalization (as the paper notes) and is provided as
  * an alias plus a normalization helper.
+ *
+ * Everything here is a thin wrapper over the SIMD kernel layer
+ * (anns/kernels.h): the active kernel table is resolved once at
+ * startup (AVX-512 / AVX2 / scalar, overridable via ANSMET_KERNEL)
+ * and all variants accumulate in double precision in one canonical
+ * blocked order, so distances are deterministic and the ET layer's
+ * conservative bounds remain provably below them.
  */
 
 #ifndef ANSMET_ANNS_DISTANCE_H
@@ -17,6 +24,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "anns/kernels.h"
 #include "anns/vector.h"
 
 namespace ansmet::anns {
@@ -29,91 +37,14 @@ const char *metricName(Metric m);
 inline double
 l2Sq(const float *q, const VectorSet &vs, VectorId v)
 {
-    const unsigned d = vs.dims();
-    const std::uint8_t *raw = vs.raw(v);
-    double acc = 0.0;
-    // Typed inner loops so the compiler can vectorize; vs.at() would
-    // re-dispatch on the scalar type per element.
-    switch (vs.type()) {
-      case ScalarType::kUint8:
-        for (unsigned i = 0; i < d; ++i) {
-            const double diff =
-                static_cast<double>(q[i]) - static_cast<double>(raw[i]);
-            acc += diff * diff;
-        }
-        break;
-      case ScalarType::kInt8: {
-        const auto *p = reinterpret_cast<const std::int8_t *>(raw);
-        for (unsigned i = 0; i < d; ++i) {
-            const double diff =
-                static_cast<double>(q[i]) - static_cast<double>(p[i]);
-            acc += diff * diff;
-        }
-        break;
-      }
-      case ScalarType::kFp16: {
-        std::uint16_t h;
-        for (unsigned i = 0; i < d; ++i) {
-            std::memcpy(&h, raw + i * 2, 2);
-            const double diff = static_cast<double>(q[i]) -
-                                static_cast<double>(halfToFloat(h));
-            acc += diff * diff;
-        }
-        break;
-      }
-      case ScalarType::kFp32: {
-        // Double-precision differences so the ET lower bounds (which
-        // operate on doubles) are *provably* never above this value.
-        float f;
-        for (unsigned i = 0; i < d; ++i) {
-            std::memcpy(&f, raw + i * 4, 4);
-            const double diff =
-                static_cast<double>(q[i]) - static_cast<double>(f);
-            acc += diff * diff;
-        }
-        break;
-      }
-    }
-    return acc;
+    return kernels().l2[typeIndex(vs.type())](q, vs.raw(v), vs.dims());
 }
 
 /** Negated inner product (smaller = more similar). */
 inline double
 negIp(const float *q, const VectorSet &vs, VectorId v)
 {
-    const unsigned d = vs.dims();
-    const std::uint8_t *raw = vs.raw(v);
-    double acc = 0.0;
-    switch (vs.type()) {
-      case ScalarType::kUint8:
-        for (unsigned i = 0; i < d; ++i)
-            acc += static_cast<double>(q[i]) * static_cast<float>(raw[i]);
-        break;
-      case ScalarType::kInt8: {
-        const auto *p = reinterpret_cast<const std::int8_t *>(raw);
-        for (unsigned i = 0; i < d; ++i)
-            acc += static_cast<double>(q[i]) * static_cast<float>(p[i]);
-        break;
-      }
-      case ScalarType::kFp16: {
-        std::uint16_t h;
-        for (unsigned i = 0; i < d; ++i) {
-            std::memcpy(&h, raw + i * 2, 2);
-            acc += static_cast<double>(q[i]) *
-                   static_cast<double>(halfToFloat(h));
-        }
-        break;
-      }
-      case ScalarType::kFp32: {
-        float f;
-        for (unsigned i = 0; i < d; ++i) {
-            std::memcpy(&f, raw + i * 4, 4);
-            acc += static_cast<double>(q[i]) * f;
-        }
-        break;
-      }
-    }
-    return -acc;
+    return -kernels().dot[typeIndex(vs.type())](q, vs.raw(v), vs.dims());
 }
 
 /** Distance under @p m; kCosine assumes pre-normalized data. */
@@ -134,21 +65,15 @@ distance(Metric m, const float *q, const VectorSet &vs, VectorId v)
 inline double
 l2Sq(const float *a, const float *b, unsigned d)
 {
-    double acc = 0.0;
-    for (unsigned i = 0; i < d; ++i) {
-        const double diff = static_cast<double>(a[i]) - b[i];
-        acc += diff * diff;
-    }
-    return acc;
+    return kernels().l2[typeIndex(ScalarType::kFp32)](
+        a, reinterpret_cast<const std::uint8_t *>(b), d);
 }
 
 inline double
 negIp(const float *a, const float *b, unsigned d)
 {
-    double acc = 0.0;
-    for (unsigned i = 0; i < d; ++i)
-        acc += static_cast<double>(a[i]) * b[i];
-    return -acc;
+    return -kernels().dot[typeIndex(ScalarType::kFp32)](
+        a, reinterpret_cast<const std::uint8_t *>(b), d);
 }
 
 inline double
@@ -157,18 +82,34 @@ distance(Metric m, const float *a, const float *b, unsigned d)
     return m == Metric::kL2 ? l2Sq(a, b, d) : negIp(a, b, d);
 }
 
+/**
+ * Distances of one query against a block of candidates (out[i] is the
+ * distance to ids[i]). The batched kernels keep the whole block in
+ * the same dispatch and prefetch the next row, which is what the
+ * bruteforce ground truth and HNSW neighbor expansion spend their
+ * time in.
+ */
+inline void
+distanceBatch(Metric m, const float *q, const VectorSet &vs,
+              const VectorId *ids, std::size_t n, double *out)
+{
+    const KernelOps &ops = kernels();
+    const unsigned t = typeIndex(vs.type());
+    if (m == Metric::kL2) {
+        ops.l2Batch[t](q, vs.raw(0), vs.vectorBytes(), ids, n, vs.dims(),
+                       out);
+        return;
+    }
+    ops.dotBatch[t](q, vs.raw(0), vs.vectorBytes(), ids, n, vs.dims(), out);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = -out[i];
+}
+
 /** Scale @p v (length d) to unit L2 norm in place; zero stays zero. */
 inline void
 normalizeL2(float *v, unsigned d)
 {
-    double n = 0.0;
-    for (unsigned i = 0; i < d; ++i)
-        n += static_cast<double>(v[i]) * v[i];
-    if (n <= 0.0)
-        return;
-    const float inv = static_cast<float>(1.0 / std::sqrt(n));
-    for (unsigned i = 0; i < d; ++i)
-        v[i] *= inv;
+    kernels().normalize(v, d);
 }
 
 } // namespace ansmet::anns

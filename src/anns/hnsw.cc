@@ -197,12 +197,26 @@ HnswIndex::searchLayer(const float *q, Neighbor entry, std::size_t ef,
         // NDP units reject any neighbor at or beyond it.
         const double batch_threshold = results.worst();
 
+        // Stage the unvisited neighbors, compute their distances in
+        // one batched kernel call, then apply the accept decisions in
+        // the original order. The threshold is frozen for the whole
+        // batch, so decisions match the one-at-a-time loop exactly.
+        vis.batchIds.clear();
         for (const VectorId nb : *links) {
             if (vis.tag[nb] == vis.epoch)
                 continue;
             vis.tag[nb] = vis.epoch;
+            vis.batchIds.push_back(nb);
+        }
+        if (vis.batchIds.empty())
+            continue;
+        vis.batchDist.resize(vis.batchIds.size());
+        distanceBatch(metric_, q, vs_, vis.batchIds.data(),
+                      vis.batchIds.size(), vis.batchDist.data());
 
-            const double d = dist(q, nb);
+        for (std::size_t i = 0; i < vis.batchIds.size(); ++i) {
+            const VectorId nb = vis.batchIds[i];
+            const double d = vis.batchDist[i];
             const bool accepted = d < batch_threshold;
             if (obs)
                 obs->onCompare(nb, batch_threshold, d, accepted);

@@ -131,6 +131,10 @@ class HnswIndex
     {
         std::vector<std::uint32_t> tag;
         std::uint32_t epoch = 0;
+        // Neighbor-expansion staging for the batched distance kernel;
+        // kept here so expansion allocates nothing per step.
+        std::vector<VectorId> batchIds;
+        std::vector<double> batchDist;
     };
 
     /** Pool of VisitScratch instances for concurrent searches. */

@@ -1,0 +1,88 @@
+#include "common/simd.h"
+
+#include <cstring>
+
+namespace ansmet {
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::kScalar: return "scalar";
+      case SimdLevel::kAvx2:   return "avx2";
+      case SimdLevel::kAvx512: return "avx512";
+    }
+    return "?";
+}
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+bool
+cpuHasAvx2()
+{
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("f16c");
+}
+
+bool
+cpuHasAvx512()
+{
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512dq") &&
+           __builtin_cpu_supports("avx512vl");
+}
+
+#else
+
+bool cpuHasAvx2() { return false; }
+bool cpuHasAvx512() { return false; }
+
+#endif
+
+} // namespace
+
+bool
+simdLevelSupported(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::kScalar:
+        return true;
+      case SimdLevel::kAvx2:
+        return cpuHasAvx2();
+      case SimdLevel::kAvx512:
+        // The AVX-512 kernels fall back to F16C for half decode, so
+        // they need the AVX2-tier features as well.
+        return cpuHasAvx2() && cpuHasAvx512();
+    }
+    return false;
+}
+
+SimdLevel
+bestSimdLevel()
+{
+    if (simdLevelSupported(SimdLevel::kAvx512))
+        return SimdLevel::kAvx512;
+    if (simdLevelSupported(SimdLevel::kAvx2))
+        return SimdLevel::kAvx2;
+    return SimdLevel::kScalar;
+}
+
+bool
+parseSimdLevel(const char *name, SimdLevel *out)
+{
+    if (!name)
+        return false;
+    for (unsigned i = 0; i < kNumSimdLevels; ++i) {
+        const auto level = static_cast<SimdLevel>(i);
+        if (std::strcmp(name, simdLevelName(level)) == 0) {
+            *out = level;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace ansmet

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Runtime CPU ISA detection for the SIMD kernel layer.
+ *
+ * The kernel registry (src/anns/kernels.h) compiles one translation
+ * unit per ISA tier and picks a table once at startup. This header
+ * answers the two questions that decision needs: what the CPU running
+ * this process supports, and how to name/parse tiers for the
+ * ANSMET_KERNEL environment override.
+ *
+ * Detection is deliberately conservative: a tier is "supported" only
+ * when every feature its kernels use is present (AVX2 additionally
+ * needs F16C for the fp16 decode; AVX-512 needs F/BW/DQ/VL). On
+ * non-x86 builds every query degrades to scalar.
+ */
+
+#ifndef ANSMET_COMMON_SIMD_H
+#define ANSMET_COMMON_SIMD_H
+
+#include <cstdint>
+
+namespace ansmet {
+
+/** Kernel ISA tiers, ordered weakest to strongest. */
+enum class SimdLevel : std::uint8_t { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+constexpr unsigned kNumSimdLevels = 3;
+
+/** Lower-case tier name ("scalar" / "avx2" / "avx512"). */
+const char *simdLevelName(SimdLevel level);
+
+/** Whether the CPU this process runs on can execute @p level kernels. */
+bool simdLevelSupported(SimdLevel level);
+
+/** Strongest tier the current CPU supports. */
+SimdLevel bestSimdLevel();
+
+/**
+ * Parse a tier name (as accepted by ANSMET_KERNEL). Returns false and
+ * leaves @p out untouched if @p name is not a known tier.
+ */
+bool parseSimdLevel(const char *name, SimdLevel *out);
+
+} // namespace ansmet
+
+#endif // ANSMET_COMMON_SIMD_H

@@ -58,12 +58,13 @@ ExperimentContext::buildOrLoadIndex()
 {
     const auto &spec = anns::datasetSpec(cfg_.dataset);
     std::ostringstream key;
-    // "_g2" = ordered batch-parallel builder; cached graphs from the
-    // old serial builder are not comparable and must not be loaded.
+    // "_g3" = canonical blocked-summation distance kernels; graphs
+    // cached by earlier builders used a different summation order and
+    // are not comparable, so they must not be loaded.
     key << spec.name << "_n" << ds_.base->size() << "_q"
         << ds_.queries.size() << "_s" << cfg_.seed << "_m" << cfg_.hnsw.m
         << "_efc" << cfg_.hnsw.efConstruction << "_z" << cfg_.zipfAlpha
-        << "_g2.hnsw";
+        << "_g3.hnsw";
     const auto path = cacheDir() / key.str();
 
     if (std::filesystem::exists(path)) {

@@ -17,7 +17,12 @@
  *    observation) while bit-level prefixes restore tight bounds.
  *
  * Narrowing an interval can only tighten (raise) the bound, so updates
- * are incremental O(1).
+ * are incremental O(1). Intervals and contributions are stored as
+ * structure-of-arrays so a whole fetch-step's worth of dimensions can
+ * be tightened in one pass by the SIMD bound kernels (anns/kernels.h,
+ * updateBatch below), and the accumulator is reusable via reset() so
+ * the fetch simulator leases one per thread instead of allocating per
+ * comparison.
  */
 
 #ifndef ANSMET_ET_BOUNDS_H
@@ -39,6 +44,9 @@ using anns::Metric;
 class BoundAccumulator
 {
   public:
+    /** Empty accumulator; reset() before use. */
+    BoundAccumulator() = default;
+
     /**
      * @param query full query vector (dims entries)
      * @param global_range dataset-wide [min, max] element value; only
@@ -46,11 +54,28 @@ class BoundAccumulator
      */
     BoundAccumulator(Metric m, const float *query, unsigned dims,
                      ValueInterval global_range)
-        : metric_(m), query_(query), dims_(dims), global_(global_range),
-          interval_(dims, global_range), contrib_(dims)
     {
+        reset(m, query, dims, global_range);
+    }
+
+    /**
+     * Re-arm for a new comparison, reusing the existing storage (no
+     * allocation once the capacity has grown to @p dims).
+     */
+    void
+    reset(Metric m, const float *query, unsigned dims,
+          ValueInterval global_range)
+    {
+        metric_ = m;
+        query_ = query;
+        dims_ = dims;
+        global_ = global_range;
+        lo_.assign(dims, global_range.lo);
+        hi_.assign(dims, global_range.hi);
+        contrib_.resize(dims);
+        total_ = 0.0;
         for (unsigned d = 0; d < dims; ++d) {
-            contrib_[d] = contribution(d, interval_[d]);
+            contrib_[d] = contribution(d, global_range);
             total_ += contrib_[d];
         }
     }
@@ -67,13 +92,16 @@ class BoundAccumulator
     {
         ANSMET_DCHECK(d < dims_, "bound update for dimension ", d,
                       " of ", dims_);
-        ValueInterval &cur = interval_[d];
-        cur.lo = std::max(cur.lo, iv.lo);
-        cur.hi = std::min(cur.hi, iv.hi);
-        ANSMET_DCHECK(cur.lo <= cur.hi,
+        // Select semantics mirror the SIMD max/min instructions so the
+        // scalar and batched paths store identical endpoints.
+        const double lo = lo_[d] > iv.lo ? lo_[d] : iv.lo;
+        const double hi = hi_[d] < iv.hi ? hi_[d] : iv.hi;
+        ANSMET_DCHECK(lo <= hi,
                       "inconsistent interval knowledge for dimension ", d,
-                      ": [", cur.lo, ", ", cur.hi, "]");
-        const double c = contribution(d, cur);
+                      ": [", lo, ", ", hi, "]");
+        lo_[d] = lo;
+        hi_[d] = hi;
+        const double c = contribution(d, {lo, hi});
         // Narrowing an interval can only tighten the bound: the L2
         // contribution (min gap^2) grows, the IP contribution (max dot
         // term, later negated) shrinks. Both formulas are monotone in
@@ -85,12 +113,39 @@ class BoundAccumulator
         contrib_[d] = c;
     }
 
+    /**
+     * Tighten the @p n consecutive dimensions starting at @p begin
+     * with the intervals [nlo[i], nhi[i]] in one pass through the
+     * active SIMD bound kernel. Dimensions that learned nothing this
+     * step pass an infinite interval (intersection is then a no-op
+     * and the delta is exactly zero). The per-step delta is summed in
+     * the kernels' canonical blocked order, so the running total is
+     * deterministic and identical across kernel tiers.
+     */
+    void
+    updateBatch(unsigned begin, unsigned n, const double *nlo,
+                const double *nhi)
+    {
+        ANSMET_DCHECK(begin + n <= dims_, "bound batch [", begin, ", ",
+                      begin + n, ") of ", dims_);
+        if (auditEnabled())
+            auditBatch(begin, n, nlo, nhi);
+        const anns::KernelOps &ops = anns::kernels();
+        const auto fn =
+            metric_ == Metric::kL2 ? ops.boundL2 : ops.boundIp;
+        total_ += fn(query_ + begin, lo_.data() + begin,
+                     hi_.data() + begin, contrib_.data() + begin, nlo,
+                     nhi, n);
+    }
+
     /** Current conservative lower bound on the distance. */
     double
     lowerBound() const
     {
         return metric_ == Metric::kL2 ? total_ : -total_;
     }
+
+    unsigned dims() const { return dims_; }
 
     /**
      * Contribution of dimension @p d if its value lies in @p iv.
@@ -115,11 +170,37 @@ class BoundAccumulator
     }
 
   private:
-    Metric metric_;
-    const float *query_;
-    unsigned dims_;
-    ValueInterval global_;
-    std::vector<ValueInterval> interval_;
+    /**
+     * Audit-mode pre-pass of updateBatch: the invariants the per-dim
+     * update() DCHECKs, validated without touching state (the kernel
+     * then performs the identical arithmetic), so audit mode never
+     * changes the numbers a run produces.
+     */
+    void
+    auditBatch(unsigned begin, unsigned n, const double *nlo,
+               const double *nhi) const
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            const unsigned d = begin + i;
+            const double lo = lo_[d] > nlo[i] ? lo_[d] : nlo[i];
+            const double hi = hi_[d] < nhi[i] ? hi_[d] : nhi[i];
+            ANSMET_DCHECK(lo <= hi,
+                          "inconsistent interval knowledge for dimension ",
+                          d, ": [", lo, ", ", hi, "]");
+            const double c = contribution(d, {lo, hi});
+            ANSMET_DCHECK(metric_ == Metric::kL2 ? c >= contrib_[d]
+                                                 : c <= contrib_[d],
+                          "bound loosened by an update on dimension ", d);
+        }
+    }
+
+    Metric metric_ = Metric::kL2;
+    const float *query_ = nullptr;
+    unsigned dims_ = 0;
+    ValueInterval global_{0.0, 0.0};
+    // Structure-of-arrays interval knowledge, kernel-friendly.
+    std::vector<double> lo_;
+    std::vector<double> hi_;
     std::vector<double> contrib_;
     double total_ = 0.0;
 };

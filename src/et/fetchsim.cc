@@ -1,6 +1,7 @@
 #include "et/fetchsim.h"
 
 #include <limits>
+#include <mutex>
 
 #include "common/check.h"
 
@@ -21,6 +22,30 @@ schemeName(EtScheme s)
 }
 
 namespace {
+
+/**
+ * Per-thread comparison scratch: a reusable bound accumulator plus the
+ * interval staging arrays the batched bound kernel consumes. One-time
+ * allocation per thread; simulate() then runs allocation-free no
+ * matter how many comparisons it performs.
+ */
+struct SimScratch
+{
+    BoundAccumulator acc;
+    std::vector<double> nlo;
+    std::vector<double> nhi;
+
+    void
+    arm(unsigned dims)
+    {
+        if (nlo.size() < dims) {
+            nlo.resize(dims);
+            nhi.resize(dims);
+        }
+    }
+};
+
+thread_local SimScratch t_scratch;
 
 FetchPlanSpec
 planFor(EtScheme s, ScalarType t, unsigned dims, const EtProfile *prof)
@@ -75,7 +100,17 @@ FetchSimulator::subPlan(unsigned dims) const
 {
     if (dims == vs_.dims())
         return plan_;
-    std::lock_guard<std::mutex> lk(sub_plans_mu_);
+    {
+        // Read-mostly fast path: after warm-up every lookup lands here
+        // and proceeds concurrently with every other reader.
+        std::shared_lock<std::shared_mutex> lk(sub_plans_mu_);
+        const auto it = sub_plans_.find(dims);
+        if (it != sub_plans_.end())
+            return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lk(sub_plans_mu_);
+    // Double-checked: another thread may have built the plan between
+    // the two lock acquisitions.
     auto it = sub_plans_.find(dims);
     if (it == sub_plans_.end()) {
         FetchPlanSpec plan;
@@ -131,8 +166,15 @@ FetchSimulator::simulateRange(const float *query, VectorId v,
     }
 
     // The local bound covers only this rank's dims; all others keep
-    // their conservative initial contribution.
-    BoundAccumulator acc(metric_, query, vs_.dims(), global_range_);
+    // their conservative initial contribution. The accumulator and the
+    // interval staging arrays are leased from the per-thread scratch,
+    // so a comparison allocates nothing.
+    SimScratch &scratch = t_scratch;
+    scratch.arm(vs_.dims());
+    BoundAccumulator &acc = scratch.acc;
+    acc.reset(metric_, query, vs_.dims(), global_range_);
+    double *const nlo = scratch.nlo.data();
+    double *const nhi = scratch.nhi.data();
     FetchCursor cursor(plan);
 
     // The eliminated common prefix is known on-chip before any fetch
@@ -140,11 +182,14 @@ FetchSimulator::simulateRange(const float *query, VectorId v,
     const bool is_outlier = pe_ && pe_->vectorIsOutlier(v);
     if (pe_ && !is_outlier && plan.prefixLen > 0) {
         for (unsigned d = dim_begin; d < dim_end; ++d) {
-            const std::uint32_t key = toKey(vs_.type(), vs_.bitsAt(v, d));
-            acc.update(d, intervalFromPrefix(vs_.type(),
-                                             key >> (w - plan.prefixLen),
-                                             plan.prefixLen));
+            const ValueInterval iv = intervalFromPrefix(
+                vs_.type(), toKey(vs_.type(), vs_.bitsAt(v, d)) >>
+                                (w - plan.prefixLen),
+                plan.prefixLen);
+            nlo[d - dim_begin] = iv.lo;
+            nhi[d - dim_begin] = iv.hi;
         }
+        acc.updateBatch(dim_begin, dim_end - dim_begin, nlo, nhi);
     }
 
     // Each fetch step may only tighten the conservative bound; a
@@ -159,20 +204,32 @@ FetchSimulator::simulateRange(const float *query, VectorId v,
                       "fetch cursor overran the layout: ", res.lines,
                       " of ", plan.totalLines());
 
+        // Stage the whole line's intervals, then tighten them in one
+        // batched kernel pass. A dimension that learned nothing keeps
+        // an infinite interval: the intersection is a no-op and its
+        // delta is exactly zero, so skipped dims cost nothing.
         for (unsigned sd = info.dimBegin; sd < info.dimEnd; ++sd) {
             const unsigned d = dim_begin + sd;
+            const unsigned slot = sd - info.dimBegin;
             unsigned known = info.knownBitsAfter;
             if (pe_) {
                 const unsigned fetched =
                     info.knownBitsAfter - plan.prefixLen;
                 known = pe_->knownLen(v, d, fetched);
             }
-            if (known == 0)
+            if (known == 0) {
+                nlo[slot] = -std::numeric_limits<double>::infinity();
+                nhi[slot] = std::numeric_limits<double>::infinity();
                 continue;
+            }
             const std::uint32_t key = toKey(vs_.type(), vs_.bitsAt(v, d));
-            acc.update(d, intervalFromPrefix(vs_.type(), key >> (w - known),
-                                             known));
+            const ValueInterval iv =
+                intervalFromPrefix(vs_.type(), key >> (w - known), known);
+            nlo[slot] = iv.lo;
+            nhi[slot] = iv.hi;
         }
+        acc.updateBatch(dim_begin + info.dimBegin,
+                        info.dimEnd - info.dimBegin, nlo, nhi);
 
         ANSMET_DCHECK(acc.lowerBound() >= prev_bound,
                       "lower bound regressed across a fetch step: ",

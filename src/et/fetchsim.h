@@ -17,7 +17,7 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 
 #include "anns/distance.h"
 #include "anns/vector.h"
@@ -145,9 +145,11 @@ class FetchSimulator
     ValueInterval global_range_;
     std::unique_ptr<PrefixElimination> pe_;
     // Lazily grown plan cache; entries are stable once inserted (the
-    // map guarantees reference stability), so only lookup/insert needs
-    // the lock.
-    mutable std::mutex sub_plans_mu_;
+    // map guarantees reference stability). The hot path is read-mostly
+    // — a handful of distinct sub-vector sizes, millions of lookups —
+    // so readers take the shared side and only a miss upgrades to the
+    // exclusive side with a double-checked insert.
+    mutable std::shared_mutex sub_plans_mu_;
     mutable std::map<unsigned, FetchPlanSpec> sub_plans_;
 };
 

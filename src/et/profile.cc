@@ -61,12 +61,18 @@ etPosition(const anns::VectorSet &vs, anns::Metric metric, const float *q,
     for (unsigned i = 0; i < d; ++i)
         keys[i] = toKey(vs.type(), vs.bitsAt(v, i));
 
+    // One batched kernel pass per prefix length: stage every
+    // dimension's refined interval, then tighten them all at once.
+    std::vector<double> nlo(d), nhi(d);
     for (unsigned len = 1; len <= w; ++len) {
         const unsigned shift = w - len;
         for (unsigned i = 0; i < d; ++i) {
-            acc.update(i, intervalFromPrefix(vs.type(), keys[i] >> shift,
-                                             len));
+            const ValueInterval iv =
+                intervalFromPrefix(vs.type(), keys[i] >> shift, len);
+            nlo[i] = iv.lo;
+            nhi[i] = iv.hi;
         }
+        acc.updateBatch(0, d, nlo.data(), nhi.data());
         if (acc.lowerBound() >= threshold)
             return len;
     }

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Compare google-benchmark JSON outputs.
+
+Two modes, stdlib only:
+
+  Delta mode -- compare two runs benchmark-by-benchmark:
+
+      tools/bench_diff.py old.json new.json [--threshold PCT]
+
+    Prints per-benchmark time deltas (new vs old) and exits nonzero if
+    any shared benchmark regressed by more than --threshold percent
+    (default: report only, never fail).
+
+  Speedup mode -- compare SIMD tiers against scalar within one run:
+
+      tools/bench_diff.py --speedup BENCH_kernels.json \
+          [--min-ratio R --require NAME]...
+
+    Kernel benchmarks are named  <family>/<tier>  with tier one of
+    scalar | avx2 | avx512 (e.g. kernel_l2_batch/fp32/avx2). For every
+    SIMD entry whose scalar sibling exists, prints the speedup ratio
+    scalar_time / simd_time. Each --require NAME (full benchmark name)
+    must be present and meet --min-ratio, otherwise exit 1 -- this is
+    the CI perf-smoke assertion.
+"""
+
+import argparse
+import json
+import sys
+
+TIERS = ("scalar", "avx2", "avx512")
+
+
+def load_times(path):
+    """Map benchmark name -> real_time (ns) from a benchmark JSON file."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    times = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) of repeated runs.
+        if b.get("run_type") == "aggregate":
+            continue
+        times[b["name"]] = float(b["real_time"])
+    return times
+
+
+def split_tier(name):
+    """('kernel_l2/fp32', 'avx2') for 'kernel_l2/fp32/avx2', else None."""
+    head, sep, tier = name.rpartition("/")
+    if sep and tier in TIERS:
+        return head, tier
+    return None
+
+
+def run_delta(args):
+    old = load_times(args.files[0])
+    new = load_times(args.files[1])
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        print("no shared benchmarks between the two files", file=sys.stderr)
+        return 1
+    width = max(len(n) for n in shared)
+    worst = 0.0
+    print(f"{'benchmark':<{width}}  {'old ns':>12}  {'new ns':>12}  delta")
+    for name in shared:
+        delta = (new[name] - old[name]) / old[name] * 100.0
+        worst = max(worst, delta)
+        print(f"{name:<{width}}  {old[name]:>12.1f}  {new[name]:>12.1f}  "
+              f"{delta:+7.1f}%")
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"removed: {', '.join(only_old)}")
+    if only_new:
+        print(f"added: {', '.join(only_new)}")
+    if args.threshold is not None and worst > args.threshold:
+        print(f"FAIL: worst regression {worst:+.1f}% exceeds "
+              f"threshold {args.threshold:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_speedup(args):
+    times = load_times(args.files[0])
+    ratios = {}
+    for name, t in sorted(times.items()):
+        parts = split_tier(name)
+        if parts is None or parts[1] == "scalar":
+            continue
+        family, tier = parts
+        scalar_name = f"{family}/scalar"
+        if scalar_name not in times or t <= 0.0:
+            continue
+        ratios[name] = times[scalar_name] / t
+
+    if not ratios:
+        print("no tiered kernel benchmarks found", file=sys.stderr)
+        return 1
+
+    width = max(len(n) for n in ratios)
+    print(f"{'benchmark':<{width}}  speedup vs scalar")
+    for name, r in sorted(ratios.items()):
+        print(f"{name:<{width}}  {r:6.2f}x")
+
+    failed = False
+    for req in args.require:
+        if req not in ratios:
+            print(f"FAIL: required benchmark '{req}' not found",
+                  file=sys.stderr)
+            failed = True
+        elif args.min_ratio is not None and ratios[req] < args.min_ratio:
+            print(f"FAIL: {req} speedup {ratios[req]:.2f}x below "
+                  f"required {args.min_ratio:.2f}x", file=sys.stderr)
+            failed = True
+        else:
+            print(f"ok: {req} speedup {ratios[req]:.2f}x")
+    return 1 if failed else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+",
+                    help="benchmark JSON file(s): two for delta mode, "
+                         "one with --speedup")
+    ap.add_argument("--speedup", action="store_true",
+                    help="single-file tier-vs-scalar speedup mode")
+    ap.add_argument("--min-ratio", type=float, default=None,
+                    help="minimum speedup each --require must meet")
+    ap.add_argument("--require", action="append", default=[],
+                    help="benchmark name that must meet --min-ratio "
+                         "(repeatable)")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="delta mode: fail if any benchmark regresses "
+                         "by more than this percent")
+    args = ap.parse_args()
+
+    if args.speedup:
+        if len(args.files) != 1:
+            ap.error("--speedup takes exactly one JSON file")
+        return run_speedup(args)
+    if len(args.files) != 2:
+        ap.error("delta mode takes exactly two JSON files")
+    return run_delta(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # output piped into head etc.
+        sys.exit(0)
