@@ -21,6 +21,7 @@
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "core/experiment.h"
+#include "obs/trace.h"
 
 namespace ansmet::bench {
 
@@ -123,6 +124,15 @@ inline void
 banner(const char *what, const char *paper_ref)
 {
     processStart(); // pin t0 at (or before) first output
+    // Arm the trace writer up front (it reads ANSMET_TRACE once and
+    // registers its atexit flush), so a run that never reaches an
+    // instrumented span still emits a valid trace file with the final
+    // metrics snapshot embedded. Goes to stderr: trace output must not
+    // perturb the figure text the CI identity diff compares.
+    if (obs::TraceWriter::instance().enabled() && !quiet()) {
+        std::fprintf(stderr, "[obs] tracing to %s\n",
+                     std::getenv("ANSMET_TRACE"));
+    }
     std::printf("==========================================================\n");
     std::printf("ANSMET reproduction — %s\n", what);
     std::printf("Paper reference: %s\n", paper_ref);

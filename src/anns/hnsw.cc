@@ -9,8 +9,27 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace ansmet::anns {
+
+namespace {
+
+struct HnswMetrics
+{
+    obs::Registry &reg = obs::Registry::instance();
+    obs::Counter hops = reg.counter("hnsw.hops");
+    obs::Counter distanceComps = reg.counter("hnsw.distance_comps");
+};
+
+HnswMetrics &
+hnswMetrics()
+{
+    static HnswMetrics m;
+    return m;
+}
+
+} // namespace
 
 SearchObserver &
 nullObserver()
@@ -172,11 +191,18 @@ HnswIndex::searchLayer(const float *q, Neighbor entry, std::size_t ef,
     ResultSet results(ef);
     results.offer(entry);
 
+    // Accumulated locally and flushed once per call: searchLayer is the
+    // inner loop of parallel index build, where per-hop shard traffic
+    // would still be visible.
+    std::uint64_t hops = 0;
+    std::uint64_t comps = 0;
+
     std::vector<VectorId> snapshot;
     while (!candidates.empty()) {
         const Neighbor cur = candidates.pop();
         if (cur.dist > results.worst())
             break;
+        ++hops;
 
         const std::vector<VectorId> *links = &nodes_[cur.id].links[level];
         if (locked) {
@@ -213,6 +239,7 @@ HnswIndex::searchLayer(const float *q, Neighbor entry, std::size_t ef,
         vis.batchDist.resize(vis.batchIds.size());
         distanceBatch(metric_, q, vs_, vis.batchIds.data(),
                       vis.batchIds.size(), vis.batchDist.data());
+        comps += vis.batchIds.size();
 
         for (std::size_t i = 0; i < vis.batchIds.size(); ++i) {
             const VectorId nb = vis.batchIds[i];
@@ -229,6 +256,9 @@ HnswIndex::searchLayer(const float *q, Neighbor entry, std::size_t ef,
             }
         }
     }
+    HnswMetrics &m = hnswMetrics();
+    m.hops.add(hops);
+    m.distanceComps.add(comps);
     return results.sorted();
 }
 

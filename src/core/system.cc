@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "ndp/instr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ansmet::core {
 
@@ -17,6 +19,30 @@ constexpr Addr kVectorRegion = 0;
 constexpr Addr kIndexRegion = Addr{1} << 38;
 constexpr Addr kCentroidRegion = Addr{1} << 39;
 constexpr Addr kIndexStride = 4096;
+
+/** Replay-level metrics; see DESIGN.md "Observability layer". */
+struct ReplayMetrics
+{
+    obs::Registry &reg = obs::Registry::instance();
+    obs::Counter queries = reg.counter("replay.queries");
+    obs::Counter steps = reg.counter("replay.steps");
+    obs::Counter comparisons = reg.counter("replay.comparisons");
+    obs::Counter terminated = reg.counter("replay.et_terminations");
+    obs::Counter linesEffectual = reg.counter("replay.lines_effectual");
+    obs::Counter linesIneffectual =
+        reg.counter("replay.lines_ineffectual");
+    obs::Counter backupLines = reg.counter("replay.backup_lines");
+    obs::Counter polls = reg.counter("replay.polls");
+    obs::Histogram queryLatency =
+        reg.histogram("replay.query_latency_ps", 48);
+};
+
+ReplayMetrics &
+replayMetrics()
+{
+    static ReplayMetrics m;
+    return m;
+}
 
 } // namespace
 
@@ -106,6 +132,9 @@ class SystemModel::QueryContext
     afterIndex()
     {
         stats_.traversal += sys_.eq_.now() - step_start_;
+        obs::TraceWriter::instance().span(
+            "traverse", static_cast<std::uint32_t>(qidx_), step_start_,
+            sys_.eq_.now());
         const TraceStep &s = trace_->steps[step_];
         if (s.tasks.empty()) {
             finishStep();
@@ -128,6 +157,9 @@ class SystemModel::QueryContext
         const TraceStep &s = trace_->steps[step_];
         if (task_ >= s.tasks.size()) {
             stats_.distComp += sys_.eq_.now() - offload_start_;
+            obs::TraceWriter::instance().span(
+                "compute", static_cast<std::uint32_t>(qidx_),
+                offload_start_, sys_.eq_.now());
             finishStep();
             return;
         }
@@ -261,6 +293,9 @@ class SystemModel::QueryContext
             return;
         offload_done_ = sys_.eq_.now();
         stats_.offload += offload_done_ - offload_start_;
+        obs::TraceWriter::instance().span(
+            "offload", static_cast<std::uint32_t>(qidx_), offload_start_,
+            offload_done_);
         all_tasks_submitted_ = true;
         if (pending_sub_ == 0)
             tasksFinished(offload_done_);
@@ -282,6 +317,9 @@ class SystemModel::QueryContext
         tasks_done_ = true;
         last_task_done_ = when;
         stats_.distComp += when - offload_done_;
+        obs::TraceWriter::instance().span(
+            "compute", static_cast<std::uint32_t>(qidx_), offload_done_,
+            when);
         if (sys_.cfg_.polling.mode == ndp::PollingMode::kIdeal)
             collected();
     }
@@ -318,6 +356,7 @@ class SystemModel::QueryContext
         ANSMET_ASSERT(!targets.empty());
         poll_inflight_ = static_cast<unsigned>(targets.size());
         stats_.polls += poll_inflight_;
+        replayMetrics().polls.add(poll_inflight_);
         for (const unsigned unit : targets) {
             sys_.hostCpu_->channel(sys_.channelOf(unit))
                 .enqueueBusTransfer(false, [this, unit](Tick) {
@@ -347,6 +386,9 @@ class SystemModel::QueryContext
             return;
         collected_ = true;
         stats_.collect += sys_.eq_.now() - last_task_done_;
+        obs::TraceWriter::instance().span(
+            "collect", static_cast<std::uint32_t>(qidx_), last_task_done_,
+            sys_.eq_.now());
         finishStep();
     }
 
@@ -379,13 +421,20 @@ class SystemModel::QueryContext
     accountFetch(const CompareTask &t, unsigned lines, bool terminated,
                  unsigned backup_lines)
     {
-        if (t.accepted)
+        ReplayMetrics &m = replayMetrics();
+        if (t.accepted) {
             stats_.linesEffectual += lines;
-        else
+            m.linesEffectual.add(lines);
+        } else {
             stats_.linesIneffectual += lines;
+            m.linesIneffectual.add(lines);
+        }
         stats_.backupLines += backup_lines;
-        if (terminated)
+        m.backupLines.add(backup_lines);
+        if (terminated) {
             ++stats_.terminated;
+            m.terminated.inc();
+        }
     }
 
     void
@@ -395,6 +444,8 @@ class SystemModel::QueryContext
         stats_.comparisons += s.tasks.size();
         for (const auto &t : s.tasks)
             stats_.accepted += t.accepted ? 1 : 0;
+        replayMetrics().steps.inc();
+        replayMetrics().comparisons.add(s.tasks.size());
 
         const Tick heap_start = sys_.eq_.now();
         const std::uint64_t cycles =
@@ -413,6 +464,25 @@ class SystemModel::QueryContext
     finishQuery()
     {
         stats_.end = sys_.eq_.now();
+        ReplayMetrics &m = replayMetrics();
+        m.queries.inc();
+        m.queryLatency.sample(stats_.end - stats_.start);
+        auto &tw = obs::TraceWriter::instance();
+        if (tw.enabled()) {
+            const obs::TraceArg args[] = {
+                {"comparisons",
+                 static_cast<std::int64_t>(stats_.comparisons)},
+                {"terminated",
+                 static_cast<std::int64_t>(stats_.terminated)},
+                {"lines_effectual",
+                 static_cast<std::int64_t>(stats_.linesEffectual)},
+                {"lines_ineffectual",
+                 static_cast<std::int64_t>(stats_.linesIneffectual)},
+                {"polls", static_cast<std::int64_t>(stats_.polls)},
+            };
+            tw.span("query", static_cast<std::uint32_t>(qidx_),
+                    stats_.start, stats_.end, args, std::size(args));
+        }
         sys_.run_stats_->queries.push_back(stats_);
         pickNext();
     }
@@ -622,6 +692,9 @@ SystemModel::run(const std::vector<QueryTrace> &traces)
 {
     ANSMET_ASSERT(!ran_, "SystemModel::run is single-use");
     ran_ = true;
+    // A figure binary replays many designs from tick 0 each; a fresh
+    // pid per run keeps their timelines from overlapping in the trace.
+    obs::TraceWriter::instance().beginRun(designName(cfg_.design));
 
     RunStats rs;
     run_stats_ = &rs;

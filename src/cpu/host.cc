@@ -1,8 +1,29 @@
 #include "cpu/host.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ansmet::cpu {
+
+namespace {
+
+struct HostMetrics
+{
+    obs::Registry &reg = obs::Registry::instance();
+    obs::Counter computeCycles = reg.counter("host.compute_cycles");
+    obs::Counter linesRead = reg.counter("host.lines_read");
+    obs::Counter cacheHits = reg.counter("host.cache_hits");
+    obs::Counter cacheMisses = reg.counter("host.cache_misses");
+};
+
+HostMetrics &
+hostMetrics()
+{
+    static HostMetrics m;
+    return m;
+}
+
+} // namespace
 
 HostCpu::HostCpu(sim::EventQueue &eq, const HostParams &hp,
                  const dram::TimingParams &tp, const dram::OrgParams &org)
@@ -21,6 +42,7 @@ HostCpu::compute(std::uint64_t cycles, std::function<void()> done)
 {
     const Tick ticks = cycles * hp_.period();
     compute_busy_ += ticks;
+    hostMetrics().computeCycles.add(cycles);
     eq_.scheduleIn(ticks, std::move(done));
 }
 
@@ -50,12 +72,14 @@ HostCpu::read(Addr addr, unsigned lines, std::function<void()> done)
             done();
     };
 
+    unsigned hits = 0;
     for (unsigned i = 0; i < lines; ++i) {
         const Addr a = addr + static_cast<Addr>(i) * kLineBytes;
         const auto level = caches_->access(a);
         const Tick lat =
             static_cast<Tick>(caches_->hitCycles(level)) * hp_.period();
         if (level != cache::CacheHierarchy::Level::kMemory) {
+            ++hits;
             eq_.scheduleIn(lat, fire);
             continue;
         }
@@ -69,6 +93,10 @@ HostCpu::read(Addr addr, unsigned lines, std::function<void()> done)
         };
         channels_[m.channel]->enqueue(m.rank, std::move(req));
     }
+    HostMetrics &hm = hostMetrics();
+    hm.linesRead.add(lines);
+    hm.cacheHits.add(hits);
+    hm.cacheMisses.add(lines - hits);
 }
 
 void

@@ -5,8 +5,38 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ansmet::dram {
+
+namespace {
+
+struct DramMetrics
+{
+    obs::Registry &reg = obs::Registry::instance();
+    obs::Counter reads = reg.counter("dram.reads");
+    obs::Counter writes = reg.counter("dram.writes");
+    obs::Counter rowActivates = reg.counter("dram.row_activates");
+    obs::Counter rowConflicts = reg.counter("dram.row_conflicts");
+    obs::Counter busTransfers = reg.counter("dram.bus_transfers");
+    obs::Histogram queueDepth = reg.histogram("dram.queue_depth", 16);
+    obs::Histogram queueLatency =
+        reg.histogram("dram.queue_latency_ps", 48);
+};
+
+DramMetrics &
+dramMetrics()
+{
+    static DramMetrics m;
+    return m;
+}
+
+/** Sample one queue-depth trace point per this many enqueues; the
+ *  full-rate track would dominate the trace file. */
+constexpr std::uint64_t kQueueSampleStride = 64;
+
+} // namespace
 
 MemController::MemController(sim::EventQueue &eq, const TimingParams &tp,
                              const OrgParams &org, unsigned num_ranks,
@@ -27,6 +57,17 @@ MemController::enqueue(unsigned rank, Request req)
     req.arrival = eq_.now();
     queue_.push_back(Pending{rank, std::move(req), next_order_++});
     ++stats_.counter(queue_.back().req.isWrite ? "writes" : "reads");
+    DramMetrics &m = dramMetrics();
+    (queue_.back().req.isWrite ? m.writes : m.reads).inc();
+    m.queueDepth.sample(queue_.size());
+    if (obs_enq_++ % kQueueSampleStride == 0) {
+        auto &tw = obs::TraceWriter::instance();
+        if (tw.enabled()) {
+            tw.counter(stats_.name() + ".bankq", obs::dramLaneTid(0),
+                       eq_.now(),
+                       static_cast<std::int64_t>(queue_.size()));
+        }
+    }
     scheduleKick(eq_.now());
 }
 
@@ -64,10 +105,14 @@ MemController::issueFor(Pending &p, const Candidate &c, Tick t)
       case Command::kAct:
         dev.issueAct(p.req.addr, t);
         ++stats_.counter("acts");
+        dramMetrics().rowActivates.inc();
         break;
       case Command::kPre:
+        // A precharge on this path always means an open-row conflict
+        // (closed banks go straight to kAct).
         dev.issuePre(p.req.addr, t);
         ++stats_.counter("pres");
+        dramMetrics().rowConflicts.inc();
         break;
       case Command::kRd:
       case Command::kWr: {
@@ -79,6 +124,7 @@ MemController::issueFor(Pending &p, const Candidate &c, Tick t)
         data_bus_busy_ += tp_.cycles(tp_.tBL);
         stats_.scalar("queue_latency")
             .sample(static_cast<double>(t - p.req.arrival));
+        dramMetrics().queueLatency.sample(t - p.req.arrival);
         if (p.req.onComplete) {
             auto cb = std::move(p.req.onComplete);
             eq_.schedule(data_end, [cb = std::move(cb), data_end] {
@@ -97,6 +143,7 @@ MemController::enqueueBusTransfer(bool is_write, Request::Callback cb)
 {
     bus_queue_.push_back(BusTransfer{is_write, eq_.now(), std::move(cb)});
     ++stats_.counter(is_write ? "bus_writes" : "bus_reads");
+    dramMetrics().busTransfers.inc();
     scheduleKick(eq_.now());
 }
 

@@ -114,6 +114,9 @@ class MemController
     Tick starvation_limit_;
 
     StatGroup stats_;
+
+    /** Enqueue count for stride-sampling the obs queue-depth track. */
+    std::uint64_t obs_enq_ = 0;
 };
 
 /**

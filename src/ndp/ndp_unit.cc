@@ -4,8 +4,34 @@
 
 #include "common/bitops.h"
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ansmet::ndp {
+
+namespace {
+
+struct NdpMetrics
+{
+    obs::Registry &reg = obs::Registry::instance();
+    obs::Counter tasks = reg.counter("ndp.tasks_completed");
+    obs::Counter lines = reg.counter("ndp.lines_fetched");
+    obs::Counter backpressure = reg.counter("ndp.backpressure_staged");
+    obs::Histogram taskLines = reg.histogram("ndp.task_lines", 16);
+    obs::Histogram taskLatency =
+        reg.histogram("ndp.task_latency_ps", 48);
+    obs::Histogram slotOccupancy =
+        reg.histogram("ndp.qshr_slot_occupancy", 8);
+};
+
+NdpMetrics &
+ndpMetrics()
+{
+    static NdpMetrics m;
+    return m;
+}
+
+} // namespace
 
 NdpUnit::NdpUnit(sim::EventQueue &eq, const NdpParams &np,
                  const dram::TimingParams &tp, const dram::OrgParams &org,
@@ -24,16 +50,43 @@ NdpUnit::submit(unsigned qshr, NdpTask task)
 {
     ANSMET_CHECK(qshr < qshrs_.size(), "bad QSHR id ", qshr, " (unit has ",
                  qshrs_.size(), ")");
+    // A zero-line task would stall the QSHR forever waiting for a line
+    // that was never issued; callers clamp with max(1, lines).
+    ANSMET_DCHECK(task.lines >= 1, "zero-line task submitted to QSHR ",
+                  qshr);
     QshrState &q = qshrs_[qshr];
     // An inactive QSHR must hold no half-executed task state; anything
     // else means a slot was recycled without completing (double free).
     ANSMET_DCHECK(q.active ||
-                      (q.fifo.empty() && q.linesToIssue == 0 &&
-                       q.linesInFlight == 0),
+                      (q.fifo.empty() && q.staged.empty() &&
+                       q.linesToIssue == 0 && q.linesInFlight == 0),
                   "idle QSHR ", qshr, " holds stale task state");
+    ndpMetrics().slotOccupancy.sample(q.fifo.size());
+    if (q.fifo.size() >= np_.tasksPerQshr) {
+        // All architectural slots busy: stage host-side until one
+        // frees. Execution order is unchanged (strict FIFO per QSHR).
+        q.staged.push_back(std::move(task));
+        ++backpressure_events_;
+        ndpMetrics().backpressure.inc();
+        return;
+    }
     q.fifo.push_back(std::move(task));
     if (!q.active)
         startNext(qshr);
+}
+
+unsigned
+NdpUnit::occupiedSlots(unsigned qshr) const
+{
+    ANSMET_CHECK(qshr < qshrs_.size(), "bad QSHR id ", qshr);
+    return static_cast<unsigned>(qshrs_[qshr].fifo.size());
+}
+
+unsigned
+NdpUnit::stagedTasks(unsigned qshr) const
+{
+    ANSMET_CHECK(qshr < qshrs_.size(), "bad QSHR id ", qshr);
+    return static_cast<unsigned>(qshrs_[qshr].staged.size());
 }
 
 void
@@ -42,11 +95,17 @@ NdpUnit::startNext(unsigned qshr)
     QshrState &q = qshrs_[qshr];
     ANSMET_DCHECK(q.linesToIssue == 0 && q.linesInFlight == 0,
                   "QSHR ", qshr, " started a task with fetches in flight");
+    ANSMET_DCHECK(q.fifo.size() <= np_.tasksPerQshr,
+                  "QSHR ", qshr, " exceeds its ", np_.tasksPerQshr,
+                  " task slots");
+    ANSMET_DCHECK(q.fifo.size() == np_.tasksPerQshr || q.staged.empty(),
+                  "QSHR ", qshr, " staged tasks while slots were free");
     if (q.fifo.empty()) {
         q.active = false;
         return;
     }
     q.active = true;
+    q.headStart = eq_.now();
     const NdpTask &t = q.fifo.front();
     q.linesToIssue = std::max(1u, t.lines);
     q.linesInFlight = 0;
@@ -74,6 +133,7 @@ NdpUnit::issueWindow(unsigned qshr)
         --q.linesToIssue;
         ++q.linesInFlight;
         ++lines_fetched_;
+        ndpMetrics().lines.inc();
         ctrl_->enqueue(0, std::move(req));
     }
 }
@@ -119,7 +179,19 @@ NdpUnit::lineArrived(unsigned qshr, Tick when)
                       " with fetches outstanding");
         NdpTask done = std::move(qs.fifo.front());
         qs.fifo.pop_front();
+        // The freed slot immediately re-fills from the staging queue,
+        // preserving FIFO order across the backpressure boundary.
+        if (!qs.staged.empty()) {
+            qs.fifo.push_back(std::move(qs.staged.front()));
+            qs.staged.pop_front();
+        }
         ++tasks_completed_;
+        NdpMetrics &m = ndpMetrics();
+        m.tasks.inc();
+        m.taskLines.sample(std::max(1u, done.lines));
+        m.taskLatency.sample(end - qs.headStart);
+        obs::TraceWriter::instance().span(
+            "ndp_task", obs::ndpLaneTid(id_, qshr), qs.headStart, end);
         if (done.onComplete)
             done.onComplete(end);
         startNext(qshr);

@@ -81,8 +81,30 @@ class NdpUnit
      * Enqueue a task on @p qshr. Tasks on the same QSHR execute in
      * order; the caller is responsible for QSHR allocation (the host
      * program tracks QSHR ids explicitly, per the paper).
+     *
+     * Each QSHR holds at most tasksPerQshr (8) architectural task
+     * slots. Submissions beyond that are backpressured into a staging
+     * queue (modelling the host-side instruction buffer the paper's
+     * runtime drains into free slots) and refill the QSHR in FIFO
+     * order as slots free up. Because a QSHR executes its tasks
+     * strictly serially either way, staging is timing-neutral; it only
+     * bounds the architectural occupancy and surfaces backpressure in
+     * the stats.
      */
     void submit(unsigned qshr, NdpTask task);
+
+    /** Architectural occupancy of @p qshr: queued tasks in its slots
+     *  (including the executing one). Never exceeds tasksPerQshr. */
+    unsigned occupiedSlots(unsigned qshr) const;
+
+    /** Tasks waiting in @p qshr's staging queue for a free slot. */
+    unsigned stagedTasks(unsigned qshr) const;
+
+    /** Submissions that found all task slots full and had to stage. */
+    std::uint64_t backpressureEvents() const
+    {
+        return backpressure_events_;
+    }
 
     unsigned id() const { return id_; }
     dram::MemController &rankController() { return *ctrl_; }
@@ -99,11 +121,13 @@ class NdpUnit
   private:
     struct QshrState
     {
-        std::deque<NdpTask> fifo;
+        std::deque<NdpTask> fifo;     //!< architectural slots (<= 8)
+        std::deque<NdpTask> staged;   //!< backpressured submissions
         bool active = false;
         unsigned linesToIssue = 0;   //!< lines not yet sent to DRAM
         unsigned linesInFlight = 0;  //!< issued, data not yet consumed
         std::uint64_t nextLine = 0;
+        Tick headStart = 0;          //!< when the head task began
     };
 
     void startNext(unsigned qshr);
@@ -121,6 +145,7 @@ class NdpUnit
     Tick compute_busy_ = 0;
     std::uint64_t lines_fetched_ = 0;
     std::uint64_t tasks_completed_ = 0;
+    std::uint64_t backpressure_events_ = 0;
 };
 
 } // namespace ansmet::ndp

@@ -1,0 +1,266 @@
+#include "obs/metrics.h"
+
+#ifndef ANSMET_OBS_DISABLED
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace ansmet::obs {
+
+namespace {
+
+/** Formats without locale interference (metrics names are ASCII). */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string
+Snapshot::toJson() const
+{
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, v] : counters) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, name);
+        out += ": ";
+        out += std::to_string(v);
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, v] : gauges) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, name);
+        out += ": ";
+        out += std::to_string(v);
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, name);
+        out += ": {\"count\": ";
+        out += std::to_string(h.count);
+        out += ", \"sum\": ";
+        out += std::to_string(h.sum);
+        out += ", \"buckets\": [";
+        // Trailing zero buckets are elided to keep files compact; the
+        // log2 bucket index is implicit in the position.
+        std::size_t last = h.buckets.size();
+        while (last > 0 && h.buckets[last - 1] == 0)
+            --last;
+        for (std::size_t i = 0; i < last; ++i) {
+            if (i)
+                out += ", ";
+            out += std::to_string(h.buckets[i]);
+        }
+        out += "]}";
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+namespace {
+
+enum class Kind { kCounter, kHistogram };
+
+struct MetricInfo
+{
+    Kind kind;
+    std::uint32_t slot;    //!< first shard slot
+    std::uint32_t buckets; //!< histogram bucket count (0 for counters)
+};
+
+} // namespace
+
+struct Registry::Impl
+{
+    mutable std::mutex mu;
+    std::unordered_map<std::string, MetricInfo> metrics;
+    std::unordered_map<std::string,
+                       std::unique_ptr<std::atomic<std::int64_t>>>
+        gauges;
+    std::vector<std::unique_ptr<detail::Shard>> shards;
+    std::uint32_t nextSlot = 0;
+
+    std::uint32_t
+    allocate(std::string_view name, Kind kind, std::uint32_t slots,
+             std::uint32_t buckets)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = metrics.find(std::string(name));
+        if (it != metrics.end()) {
+            ANSMET_CHECK(it->second.kind == kind &&
+                             it->second.buckets == buckets,
+                         "obs: metric '", name,
+                         "' re-registered with a different kind or shape");
+            return it->second.slot;
+        }
+        ANSMET_CHECK(nextSlot + slots <= detail::kShardSlots,
+                     "obs: shard capacity exhausted (",
+                     detail::kShardSlots, " slots); raise kShardSlots");
+        std::uint32_t slot = nextSlot;
+        nextSlot += slots;
+        metrics.emplace(std::string(name),
+                        MetricInfo{kind, slot, buckets});
+        return slot;
+    }
+};
+
+Registry::Impl &
+Registry::impl() const
+{
+    static Impl *impl = new Impl; // leaky: usable from atexit handlers
+    return *impl;
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry *reg =
+        new Registry; // leaky: usable from atexit handlers
+    return *reg;
+}
+
+namespace detail {
+
+Shard &
+newShard()
+{
+    // Registry-owned so snapshot() sees the shard and the storage
+    // outlives the recording thread (handles cache a raw pointer and
+    // may flush from atexit handlers after thread teardown).
+    Registry::Impl &i = Registry::instance().impl();
+    auto shard = std::make_unique<Shard>();
+    Shard &ref = *shard;
+    std::lock_guard<std::mutex> lock(i.mu);
+    i.shards.push_back(std::move(shard));
+    return ref;
+}
+
+} // namespace detail
+
+Counter
+Registry::counter(std::string_view name)
+{
+    return Counter(impl().allocate(name, Kind::kCounter, 1, 0));
+}
+
+Gauge
+Registry::gauge(std::string_view name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    auto &cell = i.gauges[std::string(name)];
+    if (!cell)
+        cell = std::make_unique<std::atomic<std::int64_t>>(0);
+    return Gauge(cell.get());
+}
+
+Histogram
+Registry::histogram(std::string_view name, unsigned buckets)
+{
+    ANSMET_CHECK(buckets >= 1 && buckets <= 64,
+                 "obs: histogram bucket count ", buckets, " out of range");
+    std::uint32_t slot = impl().allocate(name, Kind::kHistogram,
+                                         buckets + 1, buckets);
+    return Histogram(slot, buckets);
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+
+    // Merge every shard slot-wise first, then slice per metric.
+    std::vector<std::uint64_t> merged(i.nextSlot, 0);
+    for (const auto &shard : i.shards)
+        for (std::uint32_t s = 0; s < i.nextSlot; ++s)
+            merged[s] +=
+                shard->slots[s].load(std::memory_order_relaxed);
+
+    Snapshot snap;
+    for (const auto &[name, info] : i.metrics) {
+        if (info.kind == Kind::kCounter) {
+            snap.counters[name] = merged[info.slot];
+        } else {
+            HistogramData h;
+            h.buckets.assign(merged.begin() + info.slot,
+                             merged.begin() + info.slot + info.buckets);
+            for (std::uint64_t b : h.buckets)
+                h.count += b;
+            h.sum = merged[info.slot + info.buckets];
+            snap.histograms[name] = std::move(h);
+        }
+    }
+    for (const auto &[name, cell] : i.gauges)
+        snap.gauges[name] = cell->load(std::memory_order_relaxed);
+    return snap;
+}
+
+std::string
+Registry::snapshotJson() const
+{
+    return snapshot().toJson();
+}
+
+void
+Registry::reset()
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    for (const auto &shard : i.shards)
+        for (auto &slot : shard->slots)
+            slot.store(0, std::memory_order_relaxed);
+    for (const auto &[name, cell] : i.gauges)
+        cell->store(0, std::memory_order_relaxed);
+}
+
+} // namespace ansmet::obs
+
+#else // ANSMET_OBS_DISABLED
+
+namespace ansmet::obs {
+
+std::string
+Snapshot::toJson() const
+{
+    return "{}";
+}
+
+} // namespace ansmet::obs
+
+#endif

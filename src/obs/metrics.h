@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Low-overhead metrics registry: process-wide named counters, gauges,
+ * and fixed-bucket (log2) histograms.
+ *
+ * Design constraints (see DESIGN.md, "Observability layer"):
+ *  - recording on a hot path is one relaxed atomic add into a
+ *    thread-local shard — no locks, no allocation, no contention;
+ *  - shards are owned by the registry and merged only on snapshot(),
+ *    so concurrent writers never synchronize with each other;
+ *  - the whole layer compiles to no-ops under -DANSMET_OBS=OFF
+ *    (ANSMET_OBS_DISABLED), and recording never feeds back into any
+ *    simulated quantity, so figure output is bitwise identical with
+ *    observability on or off.
+ *
+ * Handles are tiny value types: obtain them once (typically via a
+ * function-local static) and record through them ever after:
+ *
+ *   static obs::Counter c = obs::Registry::instance().counter("x.y");
+ *   c.add(n);
+ */
+
+#ifndef ANSMET_OBS_METRICS_H
+#define ANSMET_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef ANSMET_OBS_DISABLED
+#include <array>
+#include <atomic>
+#endif
+
+namespace ansmet::obs {
+
+/** Merged histogram state: log2 buckets plus a value sum. */
+struct HistogramData
+{
+    /** bucket 0 = value 0; bucket i>=1 = values in [2^(i-1), 2^i),
+     *  with the last bucket absorbing everything larger. */
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    double mean() const
+    {
+        return count ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+    }
+};
+
+/** Point-in-time merged view of every registered metric. */
+struct Snapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, HistogramData> histograms;
+
+    /** Stable, machine-readable JSON rendering. */
+    std::string toJson() const;
+};
+
+#ifndef ANSMET_OBS_DISABLED
+
+namespace detail {
+
+/** Slots per thread shard; registration past this capacity panics. */
+constexpr std::uint32_t kShardSlots = 4096;
+
+struct Shard
+{
+    std::array<std::atomic<std::uint64_t>, kShardSlots> slots{};
+};
+
+/** Allocate this thread's shard and register it (metrics.cc). */
+Shard &newShard();
+
+inline Shard &
+shard()
+{
+    thread_local Shard *s = &newShard();
+    return *s;
+}
+
+} // namespace detail
+
+/** Monotonic event counter (per-thread sharded). */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void
+    add(std::uint64_t n)
+    {
+        detail::shard().slots[slot_].fetch_add(n,
+                                               std::memory_order_relaxed);
+    }
+    void inc() { add(1); }
+
+  private:
+    friend class Registry;
+    explicit Counter(std::uint32_t slot) : slot_(slot) {}
+    std::uint32_t slot_ = 0;
+};
+
+/**
+ * Last-value metric (queue depths, configuration echoes). Stored as a
+ * single registry-owned atomic: set/add are rare relative to counter
+ * traffic and need cross-thread last-writer semantics, not merging.
+ */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void
+    set(std::int64_t v)
+    {
+        if (cell_)
+            cell_->store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t d)
+    {
+        if (cell_)
+            cell_->fetch_add(d, std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    explicit Gauge(std::atomic<std::int64_t> *cell) : cell_(cell) {}
+    std::atomic<std::int64_t> *cell_ = nullptr;
+};
+
+/** Fixed-bucket log2 histogram (per-thread sharded). */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    void
+    sample(std::uint64_t v)
+    {
+        detail::Shard &s = detail::shard();
+        s.slots[first_ + bucketOf(v)].fetch_add(
+            1, std::memory_order_relaxed);
+        s.slots[first_ + buckets_].fetch_add(v,
+                                             std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    Histogram(std::uint32_t first, std::uint32_t buckets)
+        : first_(first), buckets_(buckets)
+    {
+    }
+
+    std::uint32_t
+    bucketOf(std::uint64_t v) const
+    {
+        if (v == 0)
+            return 0;
+        std::uint32_t w = 0;
+        while (v != 0) {
+            ++w;
+            v >>= 1;
+        }
+        return w < buckets_ ? w : buckets_ - 1;
+    }
+
+    std::uint32_t first_ = 0;   //!< bucket slots, then one sum slot
+    std::uint32_t buckets_ = 1;
+};
+
+/** Process-wide metric registry. */
+class Registry
+{
+  public:
+    /** The singleton (leaky; safe from atexit handlers). */
+    static Registry &instance();
+
+    /**
+     * Register (or fetch) a metric by name. Idempotent: the same name
+     * always returns a handle to the same storage; re-registering a
+     * name as a different metric kind panics.
+     */
+    Counter counter(std::string_view name);
+    Gauge gauge(std::string_view name);
+    Histogram histogram(std::string_view name, unsigned buckets = 40);
+
+    /** Merge all shards into one consistent-enough view. Concurrent
+     *  recording is allowed; each slot is read atomically. */
+    Snapshot snapshot() const;
+
+    /** snapshot().toJson() convenience. */
+    std::string snapshotJson() const;
+
+    /**
+     * Zero every slot and gauge (tests and run-scoped collection).
+     * Racy against concurrent writers by design — callers quiesce
+     * recording threads first.
+     */
+    void reset();
+
+    ~Registry() = delete;
+
+  private:
+    friend detail::Shard &detail::newShard();
+    Registry() = default;
+    struct Impl;
+    Impl &impl() const;
+};
+
+#else // ANSMET_OBS_DISABLED ------------------------------------------
+
+class Counter
+{
+  public:
+    void add(std::uint64_t) {}
+    void inc() {}
+};
+
+class Gauge
+{
+  public:
+    void set(std::int64_t) {}
+    void add(std::int64_t) {}
+};
+
+class Histogram
+{
+  public:
+    void sample(std::uint64_t) {}
+};
+
+class Registry
+{
+  public:
+    static Registry &
+    instance()
+    {
+        static Registry r;
+        return r;
+    }
+
+    Counter counter(std::string_view) { return {}; }
+    Gauge gauge(std::string_view) { return {}; }
+    Histogram histogram(std::string_view, unsigned = 40) { return {}; }
+    Snapshot snapshot() const { return {}; }
+    std::string snapshotJson() const { return "{}"; }
+    void reset() {}
+};
+
+#endif // ANSMET_OBS_DISABLED
+
+} // namespace ansmet::obs
+
+#endif // ANSMET_OBS_METRICS_H

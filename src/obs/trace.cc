@@ -1,0 +1,307 @@
+#include "obs/trace.h"
+
+#ifndef ANSMET_OBS_DISABLED
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace ansmet::obs {
+
+namespace {
+
+constexpr std::uint64_t kDefaultEventLimit = 2'000'000;
+
+struct Event
+{
+    enum class Type : std::uint8_t { kSpan, kCounter, kInstant, kMeta };
+    Type type;
+    std::string name;
+    std::uint32_t pid;
+    std::uint32_t tid;
+    Tick start;
+    Tick end;         // spans only
+    std::int64_t value; // counters only
+    std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+/** Ticks are picoseconds; trace_event "ts"/"dur" are microseconds. */
+double
+us(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+void
+appendJsonString(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    out += buf;
+}
+
+} // namespace
+
+struct TraceWriter::Impl
+{
+    std::mutex mu;
+    std::string path;
+    std::uint64_t limit = kDefaultEventLimit;
+    std::vector<Event> events;
+    std::atomic<std::uint64_t> dropped{0};
+    std::uint32_t currentPid = 0;
+    std::uint32_t nextPid = 1;
+
+    bool
+    push(Event e)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (events.size() >= limit) {
+            dropped.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        events.push_back(std::move(e));
+        return true;
+    }
+};
+
+TraceWriter::Impl &
+TraceWriter::impl() const
+{
+    static Impl *impl = new Impl; // leaky: flushed from atexit
+    return *impl;
+}
+
+TraceWriter::TraceWriter()
+{
+    const char *path = std::getenv("ANSMET_TRACE");
+    if (path == nullptr || *path == '\0')
+        return;
+    Impl &i = impl();
+    i.path = path;
+    if (const char *lim = std::getenv("ANSMET_TRACE_LIMIT")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(lim, &end, 10);
+        if (end != lim && v > 0)
+            i.limit = v;
+    }
+    enabled_ = true;
+    std::atexit([] { TraceWriter::instance().flush(); });
+}
+
+TraceWriter &
+TraceWriter::instance()
+{
+    static TraceWriter *writer =
+        new TraceWriter; // leaky: usable from atexit handlers
+    return *writer;
+}
+
+std::uint32_t
+TraceWriter::beginRun(std::string_view name)
+{
+    if (!enabled_)
+        return 0;
+    Impl &i = impl();
+    std::uint32_t pid;
+    {
+        std::lock_guard<std::mutex> lock(i.mu);
+        pid = i.nextPid++;
+        i.currentPid = pid;
+    }
+    Event e;
+    e.type = Event::Type::kMeta;
+    e.name = "process_name";
+    e.pid = pid;
+    e.tid = 0;
+    e.start = 0;
+    e.args.emplace_back("name", 0);
+    // Metadata carries a string arg; reuse the name field of a second
+    // slot to avoid widening TraceArg for this one case.
+    e.args.back().first = std::string(name);
+    i.push(std::move(e));
+    return pid;
+}
+
+void
+TraceWriter::span(std::string_view name, std::uint32_t tid, Tick start,
+                  Tick end, const TraceArg *args, std::size_t numArgs)
+{
+    if (!enabled_)
+        return;
+    ANSMET_DCHECK(end >= start, "obs: span '", name,
+                  "' ends before it starts");
+    Impl &i = impl();
+    Event e;
+    e.type = Event::Type::kSpan;
+    e.name = std::string(name);
+    e.pid = i.currentPid;
+    e.tid = tid;
+    e.start = start;
+    e.end = end;
+    for (std::size_t a = 0; a < numArgs; ++a)
+        e.args.emplace_back(std::string(args[a].key), args[a].value);
+    i.push(std::move(e));
+}
+
+void
+TraceWriter::counter(std::string_view name, std::uint32_t tid, Tick when,
+                     std::int64_t value)
+{
+    if (!enabled_)
+        return;
+    Impl &i = impl();
+    Event e;
+    e.type = Event::Type::kCounter;
+    e.name = std::string(name);
+    e.pid = i.currentPid;
+    e.tid = tid;
+    e.start = when;
+    e.value = value;
+    i.push(std::move(e));
+}
+
+void
+TraceWriter::instant(std::string_view name, std::uint32_t tid, Tick when)
+{
+    if (!enabled_)
+        return;
+    Impl &i = impl();
+    Event e;
+    e.type = Event::Type::kInstant;
+    e.name = std::string(name);
+    e.pid = i.currentPid;
+    e.tid = tid;
+    e.start = when;
+    i.push(std::move(e));
+}
+
+void
+TraceWriter::nameThread(std::uint32_t tid, std::string_view name)
+{
+    if (!enabled_)
+        return;
+    Impl &i = impl();
+    Event e;
+    e.type = Event::Type::kMeta;
+    e.name = "thread_name";
+    e.pid = i.currentPid;
+    e.tid = tid;
+    e.start = 0;
+    e.args.emplace_back(std::string(name), 0);
+    i.push(std::move(e));
+}
+
+std::uint64_t
+TraceWriter::dropped() const
+{
+    return impl().dropped.load(std::memory_order_relaxed);
+}
+
+void
+TraceWriter::flush()
+{
+    if (!enabled_)
+        return;
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+
+    std::string out;
+    out.reserve(i.events.size() * 96 + 4096);
+    out += "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const Event &e : i.events) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"name\":";
+        appendJsonString(out, e.name);
+        out += ",\"pid\":";
+        out += std::to_string(e.pid);
+        out += ",\"tid\":";
+        out += std::to_string(e.tid);
+        switch (e.type) {
+        case Event::Type::kSpan:
+            out += ",\"ph\":\"X\",\"ts\":";
+            appendDouble(out, us(e.start));
+            out += ",\"dur\":";
+            appendDouble(out, us(e.end - e.start));
+            if (!e.args.empty()) {
+                out += ",\"args\":{";
+                for (std::size_t a = 0; a < e.args.size(); ++a) {
+                    if (a)
+                        out += ",";
+                    appendJsonString(out, e.args[a].first);
+                    out += ":";
+                    out += std::to_string(e.args[a].second);
+                }
+                out += "}";
+            }
+            break;
+        case Event::Type::kCounter:
+            out += ",\"ph\":\"C\",\"ts\":";
+            appendDouble(out, us(e.start));
+            out += ",\"args\":{\"value\":";
+            out += std::to_string(e.value);
+            out += "}";
+            break;
+        case Event::Type::kInstant:
+            out += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+            appendDouble(out, us(e.start));
+            break;
+        case Event::Type::kMeta:
+            out += ",\"ph\":\"M\",\"ts\":0,\"args\":{\"name\":";
+            appendJsonString(out, e.args.empty() ? std::string_view{}
+                                                 : e.args[0].first);
+            out += "}";
+            break;
+        }
+        out += "}";
+    }
+    out += "\n],\n\"otherData\":{\"droppedEvents\":";
+    out += std::to_string(i.dropped.load(std::memory_order_relaxed));
+    out += "},\n\"metrics\":";
+    out += Registry::instance().snapshotJson();
+    out += "}\n";
+
+    std::FILE *f = std::fopen(i.path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr,
+                     "ansmet: cannot open ANSMET_TRACE path '%s'\n",
+                     i.path.c_str());
+        return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+}
+
+} // namespace ansmet::obs
+
+#endif // ANSMET_OBS_DISABLED

@@ -19,6 +19,7 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace ansmet::sim {
 
@@ -99,6 +100,11 @@ class EventQueue
                 if (debug_hook_)
                     debug_hook_();
             }
+        }
+        if (processed != 0) {
+            static obs::Counter events =
+                obs::Registry::instance().counter("sim.events");
+            events.add(processed);
         }
     }
 

@@ -12,11 +12,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <map>
 
 #include "anns/bruteforce.h"
 #include "anns/dataset.h"
+#include "common/prng.h"
 #include "et/fetchsim.h"
 #include "et/profile.h"
 
@@ -259,6 +261,193 @@ TEST(FetchSim, EstimateIsConservative)
             const auto r = sim.simulate(
                 q.data(), v, std::numeric_limits<double>::infinity());
             EXPECT_LE(r.estimate, r.exactDist + 1e-9);
+        }
+    }
+}
+
+/** Random vectors of @p type; queries are members cast to float. */
+anns::VectorSet
+randomVectors(anns::ScalarType type, std::size_t n, unsigned dims,
+              std::uint64_t seed)
+{
+    Prng rng(seed);
+    anns::VectorSet vs(n, dims, type);
+    for (std::size_t v = 0; v < n; ++v) {
+        for (unsigned d = 0; d < dims; ++d) {
+            float x;
+            switch (type) {
+              case anns::ScalarType::kUint8:
+                x = static_cast<float>(rng.below(256));
+                break;
+              case anns::ScalarType::kInt8:
+                x = static_cast<float>(
+                        static_cast<int>(rng.below(256))) -
+                    128.0f;
+                break;
+              default:
+                x = static_cast<float>(rng.uniform(-2.0, 2.0));
+            }
+            vs.set(static_cast<VectorId>(v), d, x);
+        }
+    }
+    return vs;
+}
+
+struct DualCase
+{
+    anns::Metric metric;
+    anns::ScalarType type;
+    unsigned dims;
+};
+
+class DualScheduleTest : public ::testing::TestWithParam<DualCase>
+{
+};
+
+TEST_P(DualScheduleTest, BoundStaysBelowExactForAllSchedules)
+{
+    // Property test over the dual-granularity *schedule space*, not
+    // just the optimizer's pick: for any (nC, TC, nF) the per-step
+    // lower bound must stay below the exact distance (losslessness)
+    // and the fetch count within the layout. The audit layer is live
+    // so the per-step DCHECKs inside the bound loop fire too.
+    const auto [metric, type, dims] = GetParam();
+    setAuditEnabled(true);
+    const anns::VectorSet vs = randomVectors(type, 300, dims, 7 + dims);
+
+    ProfileConfig pc;
+    pc.numSamples = 40;
+    pc.maxPairs = 400;
+    const EtProfile base = buildProfile(vs, metric, pc);
+
+    // Coarse/fine grids chosen to cover degenerate (tc=0, nf=keyBits)
+    // and extreme (bit-serial fine phase) corners of the space.
+    const DualParams schedules[] = {
+        {8, 0, 4}, {4, 2, 2}, {8, 1, 1}, {3, 2, 5}, {16, 1, 8},
+        {1, 4, 1}, {8, 4, 8},
+    };
+
+    Prng rng(99);
+    for (const DualParams &dp : schedules) {
+        EtProfile prof = base;
+        prof.dualNoPrefix = dp;
+        const FetchSimulator sim(vs, metric, EtScheme::kDual, &prof);
+
+        for (unsigned trial = 0; trial < 8; ++trial) {
+            const auto qsrc =
+                static_cast<VectorId>(rng.below(vs.size()));
+            const std::vector<float> q = vs.toFloat(qsrc);
+            const auto gt = anns::bruteForceKnn(metric, q.data(), vs, 10);
+            // Converged, loose, and infinite thresholds.
+            const double thresholds[] = {
+                gt.back().dist, gt.back().dist * 2.0 + 1.0,
+                std::numeric_limits<double>::infinity()};
+
+            for (const double threshold : thresholds) {
+                for (VectorId v = 0; v < 100; ++v) {
+                    const FetchResult r =
+                        sim.simulate(q.data(), v, threshold);
+                    EXPECT_LE(r.estimate, r.exactDist + 1e-9)
+                        << "nc=" << dp.nc << " tc=" << dp.tc
+                        << " nf=" << dp.nf << " v=" << v;
+                    EXPECT_EQ(r.accepted, r.exactDist < threshold);
+                    if (r.terminatedEarly) {
+                        EXPECT_FALSE(r.accepted);
+                    }
+                    EXPECT_GE(r.lines, 1u);
+                    EXPECT_LE(r.lines, sim.fullLines());
+                }
+            }
+        }
+    }
+    setAuditEnabled(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricsAndTypes, DualScheduleTest,
+    ::testing::Values(DualCase{anns::Metric::kL2,
+                               anns::ScalarType::kUint8, 48},
+                      DualCase{anns::Metric::kL2,
+                               anns::ScalarType::kFp32, 32},
+                      DualCase{anns::Metric::kIp,
+                               anns::ScalarType::kFp32, 36},
+                      DualCase{anns::Metric::kIp,
+                               anns::ScalarType::kInt8, 40}),
+    [](const auto &info) {
+        return std::string(anns::metricName(info.param.metric)) + "_" +
+               anns::scalarName(info.param.type);
+    });
+
+/**
+ * Linear-scan top-k where every comparison goes through the fetch
+ * simulator with the current kth-best distance as the ET threshold —
+ * the access pattern of a real lossless ET search.
+ */
+std::vector<double>
+etTopKDistances(const FetchSimulator &sim, const anns::VectorSet &vs,
+                const float *q, std::size_t k)
+{
+    std::vector<double> best; // ascending, at most k entries
+    for (VectorId v = 0; v < static_cast<VectorId>(vs.size()); ++v) {
+        const double threshold =
+            best.size() < k ? std::numeric_limits<double>::infinity()
+                            : best.back();
+        const FetchResult r = sim.simulate(q, v, threshold);
+        if (!r.accepted)
+            continue;
+        best.insert(
+            std::upper_bound(best.begin(), best.end(), r.exactDist),
+            r.exactDist);
+        if (best.size() > k)
+            best.pop_back();
+    }
+    return best;
+}
+
+TEST(LosslessTopK, EtSearchMatchesBruteForce)
+{
+    // End-to-end losslessness: a top-k scan that prunes through ET
+    // must return exactly the brute-force result, for every scheme
+    // and across randomized dual schedules.
+    constexpr std::size_t kK = 10;
+    Prng rng(2718);
+    for (const auto &[metric, type, dims] :
+         {DualCase{anns::Metric::kL2, anns::ScalarType::kUint8, 48},
+          DualCase{anns::Metric::kIp, anns::ScalarType::kFp32, 36}}) {
+        const anns::VectorSet vs = randomVectors(type, 400, dims, 11);
+        ProfileConfig pc;
+        pc.numSamples = 40;
+        pc.maxPairs = 400;
+        const EtProfile base = buildProfile(vs, metric, pc);
+
+        std::vector<std::pair<EtScheme, EtProfile>> configs;
+        for (const EtScheme s : allSchemes())
+            configs.emplace_back(s, base);
+        for (unsigned i = 0; i < 4; ++i) { // randomized dual schedules
+            EtProfile prof = base;
+            prof.dualNoPrefix = {
+                1 + static_cast<unsigned>(rng.below(8)),
+                static_cast<unsigned>(rng.below(5)),
+                1 + static_cast<unsigned>(rng.below(8))};
+            configs.emplace_back(EtScheme::kDual, std::move(prof));
+        }
+
+        for (const auto &[scheme, prof] : configs) {
+            const FetchSimulator sim(vs, metric, scheme, &prof);
+            for (unsigned trial = 0; trial < 6; ++trial) {
+                const auto qsrc =
+                    static_cast<VectorId>(rng.below(vs.size()));
+                const std::vector<float> q = vs.toFloat(qsrc);
+                const auto gt =
+                    anns::bruteForceKnn(metric, q.data(), vs, kK);
+                const std::vector<double> et =
+                    etTopKDistances(sim, vs, q.data(), kK);
+                ASSERT_EQ(et.size(), gt.size())
+                    << schemeName(scheme);
+                for (std::size_t i = 0; i < kK; ++i)
+                    EXPECT_DOUBLE_EQ(et[i], gt[i].dist)
+                        << schemeName(scheme) << " rank " << i;
+            }
         }
     }
 }

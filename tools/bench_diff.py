@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Compare google-benchmark JSON outputs.
+"""Compare google-benchmark JSON outputs and reproduced figure text.
 
-Two modes, stdlib only:
+Three modes, stdlib only:
 
   Delta mode -- compare two runs benchmark-by-benchmark:
 
@@ -22,26 +22,74 @@ Two modes, stdlib only:
     scalar_time / simd_time. Each --require NAME (full benchmark name)
     must be present and meet --min-ratio, otherwise exit 1 -- this is
     the CI perf-smoke assertion.
+
+  Figures mode -- assert two reproduced figure texts are identical:
+
+      tools/bench_diff.py --figures old.txt new.txt
+
+    Compares the bench binaries' stdout line by line, ignoring the
+    wall-clock '[timing]' footer. Any other difference (a changed
+    table cell, a missing row) prints a unified diff and exits 1 --
+    this is the CI determinism/no-perturbation assertion.
+
+Exit codes: 0 ok, 1 comparison failed, 2 unreadable/malformed input.
 """
 
 import argparse
+import difflib
 import json
 import sys
 
 TIERS = ("scalar", "avx2", "avx512")
 
 
+class InputError(Exception):
+    """A file we were asked to compare cannot be used."""
+
+
 def load_times(path):
     """Map benchmark name -> real_time (ns) from a benchmark JSON file."""
-    with open(path, encoding="utf-8") as f:
-        data = json.load(f)
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as e:
+        raise InputError(f"cannot read benchmark file {path!r}: "
+                         f"{e.strerror or e}") from e
+    except json.JSONDecodeError as e:
+        raise InputError(f"{path!r} is not valid JSON (line {e.lineno}: "
+                         f"{e.msg}); was the benchmark run interrupted?"
+                         ) from e
+    if not isinstance(data, dict):
+        raise InputError(f"{path!r}: expected a google-benchmark JSON "
+                         f"object, got {type(data).__name__}")
     times = {}
-    for b in data.get("benchmarks", []):
+    for i, b in enumerate(data.get("benchmarks", [])):
         # Skip aggregate rows (mean/median/stddev) of repeated runs.
         if b.get("run_type") == "aggregate":
             continue
-        times[b["name"]] = float(b["real_time"])
+        try:
+            times[b["name"]] = float(b["real_time"])
+        except (KeyError, TypeError, ValueError) as e:
+            raise InputError(f"{path!r}: benchmark entry {i} is missing "
+                             f"or has a malformed name/real_time field"
+                             ) from e
+    if not times:
+        raise InputError(f"{path!r} contains no benchmark entries")
     return times
+
+
+def load_figure_lines(path):
+    """Figure-text lines with the wall-clock footer stripped."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        raise InputError(f"cannot read figure file {path!r}: "
+                         f"{e.strerror or e}") from e
+    kept = [l for l in lines if not l.startswith("[timing]")]
+    if not any(l.strip() for l in kept):
+        raise InputError(f"{path!r} contains no figure output")
+    return kept
 
 
 def split_tier(name):
@@ -117,13 +165,32 @@ def run_speedup(args):
     return 1 if failed else 0
 
 
+def run_figures(args):
+    old_path, new_path = args.files
+    old = load_figure_lines(old_path)
+    new = load_figure_lines(new_path)
+    if old == new:
+        print(f"figures identical: {old_path} == {new_path} "
+              f"({len(old)} lines, [timing] footer ignored)")
+        return 0
+    diff = difflib.unified_diff(old, new, fromfile=old_path,
+                                tofile=new_path, lineterm="")
+    for line in diff:
+        print(line)
+    print(f"FAIL: figure output differs between {old_path!r} and "
+          f"{new_path!r}", file=sys.stderr)
+    return 1
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("files", nargs="+",
-                    help="benchmark JSON file(s): two for delta mode, "
-                         "one with --speedup")
+                    help="input file(s): two JSON for delta mode, one "
+                         "JSON with --speedup, two texts with --figures")
     ap.add_argument("--speedup", action="store_true",
                     help="single-file tier-vs-scalar speedup mode")
+    ap.add_argument("--figures", action="store_true",
+                    help="two-file figure-text identity mode")
     ap.add_argument("--min-ratio", type=float, default=None,
                     help="minimum speedup each --require must meet")
     ap.add_argument("--require", action="append", default=[],
@@ -134,10 +201,16 @@ def main():
                          "by more than this percent")
     args = ap.parse_args()
 
+    if args.speedup and args.figures:
+        ap.error("--speedup and --figures are mutually exclusive")
     if args.speedup:
         if len(args.files) != 1:
             ap.error("--speedup takes exactly one JSON file")
         return run_speedup(args)
+    if args.figures:
+        if len(args.files) != 2:
+            ap.error("--figures takes exactly two figure text files")
+        return run_figures(args)
     if len(args.files) != 2:
         ap.error("delta mode takes exactly two JSON files")
     return run_delta(args)
@@ -146,5 +219,8 @@ def main():
 if __name__ == "__main__":
     try:
         sys.exit(main())
+    except InputError as e:
+        print(f"error: {e}", file=sys.stderr)
+        sys.exit(2)
     except BrokenPipeError:  # output piped into head etc.
         sys.exit(0)

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py (stdlib only).
+
+Run directly:  python3 tools/test_bench_diff.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "bench_diff.py")
+
+
+def run_tool(*argv):
+    return subprocess.run([sys.executable, TOOL, *argv],
+                          capture_output=True, text=True)
+
+
+def bench_json(entries):
+    return json.dumps({
+        "benchmarks": [{"name": n, "real_time": t} for n, t in entries]
+    })
+
+
+class TempFiles(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name, content):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        return path
+
+
+class MalformedInput(TempFiles):
+    def test_missing_file_exits_2(self):
+        ok = self.write("ok.json", bench_json([("a", 1.0)]))
+        r = run_tool(ok, os.path.join(self._dir.name, "nope.json"))
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("cannot read benchmark file", r.stderr)
+        self.assertIn("nope.json", r.stderr)
+
+    def test_invalid_json_exits_2(self):
+        bad = self.write("bad.json", '{"benchmarks": [')
+        ok = self.write("ok.json", bench_json([("a", 1.0)]))
+        r = run_tool(bad, ok)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("not valid JSON", r.stderr)
+
+    def test_wrong_shape_exits_2(self):
+        bad = self.write("list.json", "[1, 2, 3]")
+        r = run_tool("--speedup", bad)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("expected a google-benchmark JSON object", r.stderr)
+
+    def test_entry_missing_real_time_exits_2(self):
+        bad = self.write("bad.json",
+                         json.dumps({"benchmarks": [{"name": "x"}]}))
+        r = run_tool("--speedup", bad)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("malformed name/real_time", r.stderr)
+
+    def test_empty_benchmarks_exits_2(self):
+        bad = self.write("empty.json", json.dumps({"benchmarks": []}))
+        r = run_tool("--speedup", bad)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("no benchmark entries", r.stderr)
+
+
+class DeltaMode(TempFiles):
+    def test_reports_deltas_without_threshold(self):
+        old = self.write("old.json", bench_json([("a", 100.0),
+                                                 ("b", 50.0)]))
+        new = self.write("new.json", bench_json([("a", 150.0),
+                                                 ("b", 50.0)]))
+        r = run_tool(old, new)
+        self.assertEqual(r.returncode, 0)
+        self.assertIn("+50.0%", r.stdout)
+
+    def test_threshold_fails_on_regression(self):
+        old = self.write("old.json", bench_json([("a", 100.0)]))
+        new = self.write("new.json", bench_json([("a", 150.0)]))
+        r = run_tool(old, new, "--threshold", "20")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("FAIL", r.stderr)
+
+    def test_disjoint_benchmarks_fail(self):
+        old = self.write("old.json", bench_json([("a", 1.0)]))
+        new = self.write("new.json", bench_json([("b", 1.0)]))
+        r = run_tool(old, new)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("no shared benchmarks", r.stderr)
+
+
+class SpeedupMode(TempFiles):
+    def test_ratio_and_require(self):
+        f = self.write("k.json", bench_json([
+            ("kernel_l2/fp32/scalar", 100.0),
+            ("kernel_l2/fp32/avx2", 25.0),
+        ]))
+        r = run_tool("--speedup", f, "--min-ratio", "2.0",
+                     "--require", "kernel_l2/fp32/avx2")
+        self.assertEqual(r.returncode, 0)
+        self.assertIn("4.00x", r.stdout)
+
+    def test_require_below_ratio_fails(self):
+        f = self.write("k.json", bench_json([
+            ("kernel_l2/fp32/scalar", 100.0),
+            ("kernel_l2/fp32/avx2", 90.0),
+        ]))
+        r = run_tool("--speedup", f, "--min-ratio", "2.0",
+                     "--require", "kernel_l2/fp32/avx2")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("below", r.stderr)
+
+
+class FiguresMode(TempFiles):
+    FIG = "header\nrow 1  2.00x\nrow 2  1.50x\n"
+
+    def test_identical_modulo_timing(self):
+        a = self.write("a.txt", self.FIG + "[timing] total: 3.21 s\n")
+        b = self.write("b.txt", self.FIG + "[timing] total: 9.87 s\n")
+        r = run_tool("--figures", a, b)
+        self.assertEqual(r.returncode, 0)
+        self.assertIn("figures identical", r.stdout)
+
+    def test_changed_cell_fails_with_diff(self):
+        a = self.write("a.txt", self.FIG)
+        b = self.write("b.txt", self.FIG.replace("1.50x", "1.51x"))
+        r = run_tool("--figures", a, b)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("-row 2  1.50x", r.stdout)
+        self.assertIn("+row 2  1.51x", r.stdout)
+        self.assertIn("FAIL", r.stderr)
+
+    def test_empty_figure_exits_2(self):
+        a = self.write("a.txt", "[timing] only a footer\n")
+        b = self.write("b.txt", self.FIG)
+        r = run_tool("--figures", a, b)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("no figure output", r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
