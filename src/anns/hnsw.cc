@@ -51,7 +51,7 @@ class HnswIndex::ScratchPool
     acquire()
     {
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            MutexLock lk(mu_);
             if (!free_.empty()) {
                 VisitScratch *s = free_.back();
                 free_.pop_back();
@@ -61,7 +61,7 @@ class HnswIndex::ScratchPool
         auto s = std::make_unique<VisitScratch>();
         s->tag.assign(n_, 0);
         VisitScratch *raw = s.get();
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         all_.push_back(std::move(s));
         return raw;
     }
@@ -69,15 +69,15 @@ class HnswIndex::ScratchPool
     void
     release(VisitScratch *s)
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         free_.push_back(s);
     }
 
   private:
-    std::size_t n_;
-    std::mutex mu_;
-    std::vector<std::unique_ptr<VisitScratch>> all_;
-    std::vector<VisitScratch *> free_;
+    std::size_t n_; //!< immutable after construction
+    Mutex mu_;
+    std::vector<std::unique_ptr<VisitScratch>> all_ ANSMET_GUARDED_BY(mu_);
+    std::vector<VisitScratch *> free_ ANSMET_GUARDED_BY(mu_);
 };
 
 class HnswIndex::ScratchLease
@@ -208,7 +208,7 @@ HnswIndex::searchLayer(const float *q, Neighbor entry, std::size_t ef,
         if (locked) {
             // Live parallel build: another thread may be appending to
             // this list; copy it under the node's lock.
-            std::lock_guard<std::mutex> lk(locks_[cur.id]);
+            MutexLock lk(locks_[cur.id]);
             snapshot = nodes_[cur.id].links[level];
             links = &snapshot;
         }
@@ -425,8 +425,8 @@ void
 HnswIndex::buildLocked(const std::vector<unsigned> &levels)
 {
     const std::size_t n = vs_.size();
-    locks_ = std::make_unique<std::mutex[]>(n);
-    entry_mu_ = std::make_unique<std::mutex>();
+    locks_ = std::make_unique<Mutex[]>(n);
+    entry_mu_ = std::make_unique<Mutex>();
 
     entry_ = 0;
     max_level_ = levels[0];
@@ -445,14 +445,14 @@ HnswIndex::insertLocked(VectorId v, unsigned level, VisitScratch &vis)
 {
     // Size the adjacency before v becomes reachable via back-edges.
     {
-        std::lock_guard<std::mutex> lk(locks_[v]);
+        MutexLock lk(locks_[v]);
         nodes_[v].links.resize(level + 1);
     }
 
     Neighbor ep;
     unsigned start_level;
     {
-        std::lock_guard<std::mutex> lk(*entry_mu_);
+        MutexLock lk(*entry_mu_);
         ep.id = entry_;
         start_level = max_level_;
     }
@@ -471,17 +471,17 @@ HnswIndex::insertLocked(VectorId v, unsigned level, VisitScratch &vis)
 
         const auto selected = selectNeighbors(q.data(), found, params_.m);
         {
-            std::lock_guard<std::mutex> lk(locks_[v]);
+            MutexLock lk(locks_[v]);
             nodes_[v].links[lu] = selected;
         }
         for (const VectorId nb : selected) {
-            std::lock_guard<std::mutex> lk(locks_[nb]);
+            MutexLock lk(locks_[nb]);
             nodes_[nb].links[lu].push_back(v);
             shrink(nb, lu);
         }
     }
 
-    std::lock_guard<std::mutex> lk(*entry_mu_);
+    MutexLock lk(*entry_mu_);
     if (level > max_level_) {
         max_level_ = level;
         entry_ = v;

@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "anns/distance.h"
@@ -39,6 +38,7 @@
 #include "anns/observer.h"
 #include "anns/vector.h"
 #include "common/prng.h"
+#include "common/sync.h"
 
 namespace ansmet::anns {
 
@@ -201,9 +201,13 @@ class HnswIndex
 
     // Per-node neighbor-list locks plus the entry-point lock; allocated
     // only for the duration of a kLocked build (a mutex member would
-    // make the index non-movable).
-    mutable std::unique_ptr<std::mutex[]> locks_;
-    std::unique_ptr<std::mutex> entry_mu_;
+    // make the index non-movable). locks_[v] guards nodes_[v].links and
+    // *entry_mu_ guards entry_/max_level_ — but only while the locked
+    // build runs, so the per-element contracts stay in comments: a
+    // static GUARDED_BY would outlaw the single-threaded ordered build
+    // and post-build reads, which need no lock at all.
+    mutable std::unique_ptr<Mutex[]> locks_;
+    std::unique_ptr<Mutex> entry_mu_;
 };
 
 } // namespace ansmet::anns

@@ -20,6 +20,11 @@ namespace ansmet::anns {
 
 namespace kernel_detail {
 
+// Active dispatch table. release on store / acquire on load: readers
+// that see the pointer must also see the pointed-to table fully
+// initialized. The shipped tables are constant-initialized statics, so
+// this is conservative today, but it keeps a dynamically registered
+// table (tests install tiers via setKernelLevel) publication-safe.
 std::atomic<const KernelOps *> g_active{nullptr};
 
 namespace {
@@ -86,6 +91,8 @@ resolveKernels()
 {
     static const KernelOps *resolved = [] {
         SimdLevel level = bestSimdLevel();
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only config knob,
+        // queried once under the static-init guard; env is not mutated.
         if (const char *env = std::getenv("ANSMET_KERNEL")) {
             SimdLevel want;
             if (!parseSimdLevel(env, &want)) {
@@ -108,6 +115,8 @@ resolveKernels()
         if (!ops)
             ops = scalarKernels();
         // Keep any table a pre-resolution setKernelLevel() installed.
+        // acq_rel: release publishes `ops` on success, acquire makes a
+        // concurrently installed table visible on failure.
         const KernelOps *expected = nullptr;
         g_active.compare_exchange_strong(expected, ops,
                                          std::memory_order_acq_rel);

@@ -121,6 +121,8 @@ const KernelOps *kernelsFor(SimdLevel level);
 inline const KernelOps &
 kernels()
 {
+    // acquire: pairs with the release store in setKernelLevel() /
+    // resolveKernels() so the table's contents are visible.
     const KernelOps *ops =
         kernel_detail::g_active.load(std::memory_order_acquire);
     return ops ? *ops : kernel_detail::resolveKernels();

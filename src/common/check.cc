@@ -11,6 +11,8 @@ namespace {
 bool
 auditInit()
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only config knob,
+    // queried once under the static-init guard; nothing mutates the env.
     if (const char *env = std::getenv("ANSMET_AUDIT"))
         return env[0] != '\0' && env[0] != '0';
 #if defined(ANSMET_AUDIT_DEFAULT_ON) || !defined(NDEBUG)

@@ -18,6 +18,8 @@ thread_local bool tls_in_pool_work = false;
 unsigned
 ThreadPool::configuredThreads()
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only config knob,
+    // queried before any pool thread exists; nothing mutates the env.
     if (const char *env = std::getenv("ANSMET_THREADS")) {
         const long v = std::strtol(env, nullptr, 10);
         if (v >= 1)
@@ -47,12 +49,19 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         stop_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     for (auto &w : workers_)
         w.join();
+}
+
+bool
+ThreadPool::hasChunksLocked() const
+{
+    return for_job_ &&
+           for_job_->next.load(std::memory_order_relaxed) < for_job_->end;
 }
 
 void
@@ -65,11 +74,11 @@ ThreadPool::enqueue(std::function<void()> task)
         return;
     }
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         ANSMET_CHECK(!stop_, "submit on a stopped thread pool");
         tasks_.push_back(std::move(task));
     }
-    cv_.notify_one();
+    cv_.notifyOne();
 }
 
 void
@@ -88,7 +97,7 @@ ThreadPool::runChunks(ForJob &job)
         try {
             (*job.body)(i, hi);
         } catch (...) {
-            std::lock_guard<std::mutex> lk(job.error_mu);
+            MutexLock lk(job.error_mu);
             if (!job.error)
                 job.error = std::current_exception();
             // Keep claiming chunks so the range always completes and
@@ -106,25 +115,19 @@ ThreadPool::workerLoop()
         std::shared_ptr<ForJob> job;
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            const auto has_chunks = [this] {
-                return for_job_ &&
-                       for_job_->next.load(std::memory_order_relaxed) <
-                           for_job_->end;
-            };
-            cv_.wait(lk, [&] {
-                return stop_ || !tasks_.empty() || has_chunks();
-            });
-            if (stop_ && tasks_.empty() && !has_chunks())
+            MutexLock lk(mu_);
+            while (!stop_ && tasks_.empty() && !hasChunksLocked())
+                cv_.wait(mu_);
+            if (stop_ && tasks_.empty() && !hasChunksLocked())
                 return;
             if (!tasks_.empty()) {
                 task = std::move(tasks_.back());
                 tasks_.pop_back();
-            } else if (has_chunks()) {
+            } else if (hasChunksLocked()) {
                 job = for_job_;
                 // A job is unpublished before its completion flag is
                 // set, so a claimable job can never be finished.
-                ANSMET_DCHECK(!job->done,
+                ANSMET_DCHECK(!job->done.load(std::memory_order_relaxed),
                               "worker claimed a completed parallelFor job");
                 job->active.fetch_add(1, std::memory_order_relaxed);
             } else {
@@ -139,9 +142,11 @@ ThreadPool::workerLoop()
             continue;
         }
         runChunks(*job);
+        // acq_rel: the last worker's decrement publishes its chunk
+        // writes to the waiter's acquire load in parallelFor().
         if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            std::lock_guard<std::mutex> lk(job->done_mu);
-            job->done_cv.notify_all();
+            MutexLock lk(job->done_mu);
+            job->done_cv.notifyAll();
         }
     }
 }
@@ -175,12 +180,12 @@ ThreadPool::parallelFor(
     job->body = &shifted;
 
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         ANSMET_CHECK(!for_job_, "concurrent top-level parallelFor calls "
                                 "on one pool are not supported");
         for_job_ = job;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
 
     // The caller participates: it claims chunks like any worker, which
     // is what makes a busy pool degrade to inline execution.
@@ -188,23 +193,30 @@ ThreadPool::parallelFor(
 
     {
         // Unpublish, then wait for workers still running claimed chunks.
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         for_job_.reset();
     }
     {
-        std::unique_lock<std::mutex> lk(job->done_mu);
-        job->done_cv.wait(lk, [&job] {
-            return job->active.load(std::memory_order_acquire) == 0;
-        });
-        ANSMET_DCHECK(!job->done, "parallelFor job completed twice");
-        job->done = true;
+        MutexLock lk(job->done_mu);
+        // acquire: pairs with the workers' fetch_sub(acq_rel) so their
+        // chunk writes are visible once the count drains to zero.
+        while (job->active.load(std::memory_order_acquire) != 0)
+            job->done_cv.wait(job->done_mu);
     }
+    ANSMET_DCHECK(!job->done.load(std::memory_order_relaxed),
+                  "parallelFor job completed twice");
+    job->done.store(true, std::memory_order_relaxed);
     // Every chunk must have been claimed before the job is torn down;
     // a short cursor here would mean iterations were silently dropped.
     ANSMET_CHECK(job->next.load(std::memory_order_relaxed) >= job->end,
                  "parallelFor finished with unclaimed iterations");
-    if (job->error)
-        std::rethrow_exception(job->error);
+    std::exception_ptr error;
+    {
+        MutexLock lk(job->error_mu);
+        error = job->error;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace ansmet

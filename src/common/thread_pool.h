@@ -22,14 +22,14 @@
 #define ANSMET_COMMON_THREAD_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace ansmet {
 
@@ -84,28 +84,43 @@ class ThreadPool
   private:
     struct ForJob
     {
+        // end/grain/body are written once, before the job is published
+        // under the pool's mu_, and are immutable from then on — the
+        // publishing store/load of for_job_ is what orders them.
         std::size_t end = 0;
         std::size_t grain = 1;
         const std::function<void(std::size_t, std::size_t)> *body = nullptr;
+        // Chunk-claim cursor. relaxed: fetch_add only needs atomicity
+        // (each index is claimed exactly once); visibility of the
+        // chunk bodies' writes is ordered by `active`, not by `next`.
         std::atomic<std::size_t> next{0};
+        // Workers running claimed chunks. fetch_sub(acq_rel) on exit +
+        // the waiter's acquire load make every chunk's writes visible
+        // to the caller once active reaches 0.
         std::atomic<unsigned> active{0};
-        std::exception_ptr error;
-        std::mutex error_mu;
-        bool done = false; // all chunks claimed and executed
-        std::mutex done_mu;
-        std::condition_variable done_cv;
+        std::exception_ptr error ANSMET_GUARDED_BY(error_mu);
+        Mutex error_mu;
+        // Audit-only completion flag read by DCHECKs from both sides
+        // of the teardown handshake. relaxed: the real ordering is mu_
+        // (unpublish) and done_mu/active (completion wait).
+        std::atomic<bool> done{false};
+        Mutex done_mu; //!< done_cv's mutex (predicate state is `active`)
+        CondVar done_cv;
     };
 
     void enqueue(std::function<void()> task);
     void workerLoop();
     static void runChunks(ForJob &job);
 
+    /** A published parallelFor job with unclaimed chunks remains. */
+    bool hasChunksLocked() const ANSMET_REQUIRES(mu_);
+
     std::vector<std::thread> workers_;
-    std::shared_ptr<ForJob> for_job_; // guarded by mu_
-    std::vector<std::function<void()>> tasks_; // guarded by mu_
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    std::shared_ptr<ForJob> for_job_ ANSMET_GUARDED_BY(mu_);
+    std::vector<std::function<void()>> tasks_ ANSMET_GUARDED_BY(mu_);
+    Mutex mu_;
+    CondVar cv_;
+    bool stop_ ANSMET_GUARDED_BY(mu_) = false;
 };
 
 /** Convenience: ThreadPool::global().parallelFor(...). */

@@ -155,12 +155,12 @@ FetchSimulator::subPlan(unsigned dims) const
     {
         // Read-mostly fast path: after warm-up every lookup lands here
         // and proceeds concurrently with every other reader.
-        std::shared_lock<std::shared_mutex> lk(sub_plans_mu_);
+        ReaderLock lk(sub_plans_mu_);
         const auto it = sub_plans_.find(dims);
         if (it != sub_plans_.end())
             return it->second;
     }
-    std::unique_lock<std::shared_mutex> lk(sub_plans_mu_);
+    WriterLock lk(sub_plans_mu_);
     // Double-checked: another thread may have built the plan between
     // the two lock acquisitions.
     auto it = sub_plans_.find(dims);

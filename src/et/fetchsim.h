@@ -17,10 +17,10 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 
 #include "anns/distance.h"
 #include "anns/vector.h"
+#include "common/sync.h"
 #include "et/bounds.h"
 #include "et/layout.h"
 #include "et/prefix.h"
@@ -149,8 +149,9 @@ class FetchSimulator
     // — a handful of distinct sub-vector sizes, millions of lookups —
     // so readers take the shared side and only a miss upgrades to the
     // exclusive side with a double-checked insert.
-    mutable std::shared_mutex sub_plans_mu_;
-    mutable std::map<unsigned, FetchPlanSpec> sub_plans_;
+    mutable SharedMutex sub_plans_mu_;
+    mutable std::map<unsigned, FetchPlanSpec> sub_plans_
+        ANSMET_GUARDED_BY(sub_plans_mu_);
 };
 
 } // namespace ansmet::et

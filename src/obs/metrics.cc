@@ -4,10 +4,10 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/sync.h"
 
 namespace ansmet::obs {
 
@@ -107,19 +107,24 @@ struct MetricInfo
 
 struct Registry::Impl
 {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, MetricInfo> metrics;
+    mutable Mutex mu;
+    std::unordered_map<std::string, MetricInfo> metrics
+        ANSMET_GUARDED_BY(mu);
+    // Gauge cells are individually heap-owned atomics: the map is
+    // guarded, but a handle's pointer into it escapes the lock on
+    // purpose (relaxed last-writer-wins set/add, no merging).
     std::unordered_map<std::string,
                        std::unique_ptr<std::atomic<std::int64_t>>>
-        gauges;
-    std::vector<std::unique_ptr<detail::Shard>> shards;
-    std::uint32_t nextSlot = 0;
+        gauges ANSMET_GUARDED_BY(mu);
+    std::vector<std::unique_ptr<detail::Shard>> shards
+        ANSMET_GUARDED_BY(mu);
+    std::uint32_t nextSlot ANSMET_GUARDED_BY(mu) = 0;
 
     std::uint32_t
     allocate(std::string_view name, Kind kind, std::uint32_t slots,
-             std::uint32_t buckets)
+             std::uint32_t buckets) ANSMET_EXCLUDES(mu)
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         auto it = metrics.find(std::string(name));
         if (it != metrics.end()) {
             ANSMET_CHECK(it->second.kind == kind &&
@@ -142,15 +147,16 @@ struct Registry::Impl
 Registry::Impl &
 Registry::impl() const
 {
-    static Impl *impl = new Impl; // leaky: usable from atexit handlers
+    // NOLINTNEXTLINE(ansmet-rawnew): leaked singleton; atexit-safe.
+    static Impl *impl = new Impl;
     return *impl;
 }
 
 Registry &
 Registry::instance()
 {
-    static Registry *reg =
-        new Registry; // leaky: usable from atexit handlers
+    // NOLINTNEXTLINE(ansmet-rawnew): leaked singleton; atexit-safe.
+    static Registry *reg = new Registry;
     return *reg;
 }
 
@@ -165,7 +171,7 @@ newShard()
     Registry::Impl &i = Registry::instance().impl();
     auto shard = std::make_unique<Shard>();
     Shard &ref = *shard;
-    std::lock_guard<std::mutex> lock(i.mu);
+    MutexLock lock(i.mu);
     i.shards.push_back(std::move(shard));
     return ref;
 }
@@ -182,7 +188,7 @@ Gauge
 Registry::gauge(std::string_view name)
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    MutexLock lock(i.mu);
     auto &cell = i.gauges[std::string(name)];
     if (!cell)
         cell = std::make_unique<std::atomic<std::int64_t>>(0);
@@ -203,7 +209,7 @@ Snapshot
 Registry::snapshot() const
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    MutexLock lock(i.mu);
 
     // Merge every shard slot-wise first, then slice per metric.
     std::vector<std::uint64_t> merged(i.nextSlot, 0);
@@ -241,7 +247,7 @@ void
 Registry::reset()
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    MutexLock lock(i.mu);
     for (const auto &shard : i.shards)
         for (auto &slot : shard->slots)
             slot.store(0, std::memory_order_relaxed);

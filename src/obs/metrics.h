@@ -72,6 +72,10 @@ constexpr std::uint32_t kShardSlots = 4096;
 
 struct Shard
 {
+    // relaxed everywhere: each slot is written by exactly one thread
+    // (the shard owner) and merged by snapshot() under the registry
+    // mutex; slight cross-slot skew in a snapshot taken mid-recording
+    // is accepted by contract, so no ordering is needed.
     std::array<std::atomic<std::uint64_t>, kShardSlots> slots{};
 };
 
@@ -111,6 +115,8 @@ class Counter
  * Last-value metric (queue depths, configuration echoes). Stored as a
  * single registry-owned atomic: set/add are rare relative to counter
  * traffic and need cross-thread last-writer semantics, not merging.
+ * relaxed: a gauge value orders nothing else; last-writer-wins with
+ * atomicity is the whole contract.
  */
 class Gauge
 {

@@ -5,10 +5,10 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
 
 #include "common/check.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace ansmet::obs {
@@ -71,18 +71,34 @@ appendDouble(std::string &out, double v)
 
 struct TraceWriter::Impl
 {
-    std::mutex mu;
+    Mutex mu;
+    // path/limit are written once in the TraceWriter constructor
+    // (inside the static-init guard, before any recording call can
+    // exist) and read-only afterwards.
     std::string path;
     std::uint64_t limit = kDefaultEventLimit;
-    std::vector<Event> events;
+    std::vector<Event> events ANSMET_GUARDED_BY(mu);
+    // Overflow tally. relaxed: monotonic counter read only for
+    // reporting; no other data is ordered by it.
     std::atomic<std::uint64_t> dropped{0};
-    std::uint32_t currentPid = 0;
-    std::uint32_t nextPid = 1;
+    // The run scope events are stamped with. Atomic rather than
+    // mu-guarded: event builders read it before taking mu (the
+    // annotation retrofit caught this as an unlocked read). relaxed:
+    // beginRun happens-before the events of its run via the caller's
+    // sequencing; cross-thread stamping tolerates last-writer-wins.
+    std::atomic<std::uint32_t> currentPid{0};
+    std::uint32_t nextPid ANSMET_GUARDED_BY(mu) = 1;
+
+    std::uint32_t
+    pid() const
+    {
+        return currentPid.load(std::memory_order_relaxed);
+    }
 
     bool
-    push(Event e)
+    push(Event e) ANSMET_EXCLUDES(mu)
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (events.size() >= limit) {
             dropped.fetch_add(1, std::memory_order_relaxed);
             return false;
@@ -95,17 +111,22 @@ struct TraceWriter::Impl
 TraceWriter::Impl &
 TraceWriter::impl() const
 {
-    static Impl *impl = new Impl; // leaky: flushed from atexit
+    // NOLINTNEXTLINE(ansmet-rawnew): leaked singleton; atexit-safe.
+    static Impl *impl = new Impl;
     return *impl;
 }
 
 TraceWriter::TraceWriter()
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only config knob,
+    // queried once under the static-init guard; env is not mutated.
     const char *path = std::getenv("ANSMET_TRACE");
     if (path == nullptr || *path == '\0')
         return;
     Impl &i = impl();
     i.path = path;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only config knob,
+    // queried once under the static-init guard; env is not mutated.
     if (const char *lim = std::getenv("ANSMET_TRACE_LIMIT")) {
         char *end = nullptr;
         unsigned long long v = std::strtoull(lim, &end, 10);
@@ -119,8 +140,8 @@ TraceWriter::TraceWriter()
 TraceWriter &
 TraceWriter::instance()
 {
-    static TraceWriter *writer =
-        new TraceWriter; // leaky: usable from atexit handlers
+    // NOLINTNEXTLINE(ansmet-rawnew): leaked singleton; atexit-safe.
+    static TraceWriter *writer = new TraceWriter;
     return *writer;
 }
 
@@ -132,9 +153,9 @@ TraceWriter::beginRun(std::string_view name)
     Impl &i = impl();
     std::uint32_t pid;
     {
-        std::lock_guard<std::mutex> lock(i.mu);
+        MutexLock lock(i.mu);
         pid = i.nextPid++;
-        i.currentPid = pid;
+        i.currentPid.store(pid, std::memory_order_relaxed);
     }
     Event e;
     e.type = Event::Type::kMeta;
@@ -162,7 +183,7 @@ TraceWriter::span(std::string_view name, std::uint32_t tid, Tick start,
     Event e;
     e.type = Event::Type::kSpan;
     e.name = std::string(name);
-    e.pid = i.currentPid;
+    e.pid = i.pid();
     e.tid = tid;
     e.start = start;
     e.end = end;
@@ -181,7 +202,7 @@ TraceWriter::counter(std::string_view name, std::uint32_t tid, Tick when,
     Event e;
     e.type = Event::Type::kCounter;
     e.name = std::string(name);
-    e.pid = i.currentPid;
+    e.pid = i.pid();
     e.tid = tid;
     e.start = when;
     e.value = value;
@@ -197,7 +218,7 @@ TraceWriter::instant(std::string_view name, std::uint32_t tid, Tick when)
     Event e;
     e.type = Event::Type::kInstant;
     e.name = std::string(name);
-    e.pid = i.currentPid;
+    e.pid = i.pid();
     e.tid = tid;
     e.start = when;
     i.push(std::move(e));
@@ -212,7 +233,7 @@ TraceWriter::nameThread(std::uint32_t tid, std::string_view name)
     Event e;
     e.type = Event::Type::kMeta;
     e.name = "thread_name";
-    e.pid = i.currentPid;
+    e.pid = i.pid();
     e.tid = tid;
     e.start = 0;
     e.args.emplace_back(std::string(name), 0);
@@ -231,7 +252,7 @@ TraceWriter::flush()
     if (!enabled_)
         return;
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    MutexLock lock(i.mu);
 
     std::string out;
     out.reserve(i.events.size() * 96 + 4096);

@@ -1,15 +1,21 @@
 /**
  * @file
  * Unit tests for common utilities: bit operations, PRNG, stats,
- * tables, and the discrete-event queue.
+ * tables, annotated sync primitives, and the discrete-event queue.
  */
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
 
 #include "common/bitops.h"
 #include "common/check.h"
 #include "common/prng.h"
 #include "common/stats.h"
+#include "common/sync.h"
 #include "common/table.h"
 #include "sim/event_queue.h"
 
@@ -274,6 +280,83 @@ TEST(Check, DcheckHonorsAuditToggle)
     EXPECT_DEATH(ANSMET_DCHECK(false, "audit caught it"),
                  "dcheck failed: false audit caught it");
     setAuditEnabled(false);
+}
+
+// ---------------------------------------------------------------------
+// Annotated sync primitives (common/sync.h). The annotations are
+// compile-time only; these tests pin the runtime semantics of the
+// wrappers under contention (and give TSan in CI something to chew on).
+// ---------------------------------------------------------------------
+
+TEST(Sync, MutexLockExcludesConcurrentIncrements)
+{
+    Mutex mu;
+    int counter = 0;
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 1000; ++i) {
+                MutexLock lk(mu);
+                ++counter;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(counter, 4000);
+}
+
+TEST(Sync, SharedMutexAllowsConcurrentReaders)
+{
+    SharedMutex mu;
+    const int value = 42;
+    std::atomic<int> observed{0};
+    std::atomic<int> inside{0};
+    std::atomic<int> peak{0};
+    std::vector<std::thread> readers;
+    readers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            ReaderLock lk(mu);
+            const int now = inside.fetch_add(1) + 1;
+            int prev = peak.load();
+            while (prev < now && !peak.compare_exchange_weak(prev, now)) {
+            }
+            observed.fetch_add(value);
+            // Linger so the readers actually overlap.
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            inside.fetch_sub(1);
+        });
+    }
+    for (auto &t : readers)
+        t.join();
+    EXPECT_EQ(observed.load(), 4 * value);
+    EXPECT_GE(peak.load(), 2) << "readers never overlapped";
+    // A writer can still get exclusive access afterwards.
+    WriterLock lk(mu);
+    EXPECT_EQ(inside.load(), 0);
+}
+
+TEST(Sync, CondVarWaitWakesOnNotify)
+{
+    Mutex mu;
+    CondVar cv;
+    bool ready = false;
+    int seen = 0;
+    std::thread waiter([&] {
+        MutexLock lk(mu);
+        while (!ready)
+            cv.wait(mu);
+        seen = 1;
+    });
+    {
+        MutexLock lk(mu);
+        ready = true;
+    }
+    cv.notifyAll();
+    waiter.join();
+    EXPECT_EQ(seen, 1);
 }
 
 } // namespace

@@ -1,0 +1,535 @@
+#!/usr/bin/env python3
+"""ansmet_lint: project-specific determinism and style linter.
+
+ANSMET's figures depend on bitwise-deterministic replay, and its
+locking contracts are enforced at compile time through the annotated
+wrappers in src/common/sync.h. This linter statically proves the two
+conventions that neither the compiler nor clang-tidy checks:
+
+  R1  ansmet-determinism   No nondeterminism source in the simulator-
+                           deterministic directories (src/sim, src/ndp,
+                           src/dram, src/et, src/anns): std::rand and
+                           friends, wall-clock time, and std random
+                           engines are banned; common::Prng is the only
+                           sanctioned randomness.
+  R2  ansmet-rawnew        No raw `new` / `delete` in src/ (smart
+                           pointers and containers own everything);
+                           `= delete`d functions and placement forms
+                           are exempt.
+  R3  ansmet-nolint        Every NOLINT / NOLINTNEXTLINE / NOLINTBEGIN
+                           must carry a written justification after the
+                           check list (": why" — keeps suppressions
+                           honest).
+  R4  ansmet-rawsync       No direct std::mutex / std::shared_mutex /
+                           std::condition_variable (or std lock RAII
+                           over them) outside src/common/sync.h — the
+                           annotated wrappers are mandatory so Clang's
+                           thread-safety analysis sees every lock.
+
+Suppression: a finding is waived by `// NOLINT(<rule>): reason` on the
+same line or `// NOLINTNEXTLINE(<rule>): reason` on the line above,
+using the rule names in the middle column. R3 itself validates those
+comments, so a suppression can never be silent.
+
+Engines: with the libclang Python bindings installed (python3-clang)
+the file is tokenized by clang itself, driven by the build tree's
+compile_commands.json; without them a built-in lexer produces the same
+token stream (the rules are token-level, so findings are identical).
+`--engine libclang` makes libclang mandatory and SKIPS with exit 0
+when it is absent, mirroring tools/run_tidy.sh's behavior when
+clang-tidy is missing.
+
+Exit status: 0 clean (or skipped), 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------
+
+DETERMINISTIC_DIRS = ("src/sim", "src/ndp", "src/dram", "src/et",
+                      "src/anns")
+
+# Identifier tokens banned by R1 inside the deterministic directories.
+BANNED_RANDOM = {
+    "rand": "std::rand is seed-global and unordered under threading",
+    "srand": "std::srand mutates global state",
+    "rand_r": "use common::Prng streams instead",
+    "random": "POSIX random() is seed-global",
+    "drand48": "use common::Prng streams instead",
+    "lrand48": "use common::Prng streams instead",
+    "mrand48": "use common::Prng streams instead",
+    "random_device": "std::random_device is nondeterministic by design",
+    "mt19937": "std engines drift across stdlibs; use common::Prng",
+    "mt19937_64": "std engines drift across stdlibs; use common::Prng",
+    "minstd_rand": "std engines drift across stdlibs; use common::Prng",
+    "default_random_engine": "implementation-defined; use common::Prng",
+}
+BANNED_CLOCK = {
+    "system_clock": "wall-clock time must not feed simulated output",
+    "high_resolution_clock": "wall-clock time must not feed simulated "
+                             "output",
+    "steady_clock": "host timing must not feed simulated output",
+    "clock_gettime": "host timing must not feed simulated output",
+    "gettimeofday": "host timing must not feed simulated output",
+}
+
+# R4: raw sync vocabulary banned outside the wrapper header.
+BANNED_SYNC = {
+    "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+    "recursive_timed_mutex", "shared_timed_mutex", "condition_variable",
+    "condition_variable_any", "lock_guard", "unique_lock", "shared_lock",
+    "scoped_lock",
+}
+SYNC_EXEMPT_SUFFIX = os.path.join("src", "common", "sync.h")
+
+RULES = {
+    "R1": "ansmet-determinism",
+    "R2": "ansmet-rawnew",
+    "R3": "ansmet-nolint",
+    "R4": "ansmet-rawsync",
+}
+
+NOLINT_RE = re.compile(
+    r"NOLINT(NEXTLINE|BEGIN|END)?(\(([^)]*)\))?(.*)", re.DOTALL)
+
+
+class Token:
+    __slots__ = ("kind", "spelling", "line")
+
+    def __init__(self, kind, spelling, line):
+        self.kind = kind  # 'id', 'punct', 'comment', 'literal', 'kw'
+        self.spelling = spelling
+        self.line = line
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Token({self.kind},{self.spelling!r},{self.line})"
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self):
+        return (f"{self.path}:{self.line}: [{self.rule}/"
+                f"{RULES[self.rule]}] {self.message}")
+
+
+# --------------------------------------------------------------------
+# Lexical engine: a small C++ scanner producing the unified tokens.
+# --------------------------------------------------------------------
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyz"
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_KEYWORDS = {"new", "delete", "operator"}
+
+
+def lex_tokens(text):
+    """Tokenize C++ source: identifiers, punctuation, comments,
+    literals. Strings/chars collapse to one literal token so banned
+    names inside them never match; comments are kept for R3."""
+    tokens = []
+    i = 0
+    n = len(text)
+    line = 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+        elif c in " \t\r\f\v":
+            i += 1
+        elif text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            tokens.append(Token("comment", text[i:j], line))
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            body = text[i:j + 2]
+            tokens.append(Token("comment", body, line))
+            line += body.count("\n")
+            i = j + 2
+        elif c == '"':
+            if text.startswith('R"', i - 1) and i >= 1:
+                pass  # handled via the R branch below
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            tokens.append(Token("literal", text[i:j + 1], line))
+            line += text.count("\n", i, j + 1)
+            i = j + 1
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            tokens.append(Token("literal", text[i:j + 1], line))
+            i = j + 1
+        elif c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            spelling = text[i:j]
+            # Raw string literal: R"delim( ... )delim"
+            if spelling.endswith("R") and j < n and text[j] == '"':
+                m = re.match(r'R"([^()\\ ]*)\(', text[j - 1:])
+                if m:
+                    end = text.find(f"){m.group(1)}\"", j)
+                    end = n if end < 0 else end + len(m.group(1)) + 2
+                    tokens.append(Token("literal", text[i:end], line))
+                    line += text.count("\n", i, end)
+                    i = end
+                    continue
+            kind = "kw" if spelling in _KEYWORDS else "id"
+            tokens.append(Token(kind, spelling, line))
+            i = j
+        elif c.isdigit():
+            j = i + 1
+            while j < n and (text[j] in _ID_CONT or text[j] in ".+-'"
+                             and text[j - 1] in "eEpP'"):
+                j += 1
+            tokens.append(Token("literal", text[i:j], line))
+            i = j
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens
+
+
+# --------------------------------------------------------------------
+# libclang engine: same token stream, produced by clang's lexer.
+# --------------------------------------------------------------------
+
+def try_import_libclang():
+    if os.environ.get("ANSMET_LINT_FORCE_NO_LIBCLANG"):
+        return None
+    try:
+        from clang import cindex  # type: ignore
+        cindex.Index.create()  # verifies libclang.so actually loads
+        return cindex
+    except Exception:
+        return None
+
+
+def compile_args_for(path, compdb_dir):
+    """Extract the -I/-D/-std args recorded for path (or any TU) from
+    compile_commands.json, so clang lexes under the project config."""
+    cc_path = os.path.join(compdb_dir or "", "compile_commands.json")
+    if not compdb_dir or not os.path.isfile(cc_path):
+        return ["-std=c++20"]
+    try:
+        with open(cc_path, encoding="utf-8") as f:
+            db = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return ["-std=c++20"]
+    want = os.path.abspath(path)
+    fallback = None
+    for entry in db:
+        args = entry.get("command", "").split()[1:]
+        keep = [a for a in args
+                if a.startswith(("-I", "-D", "-std=", "-isystem"))]
+        if os.path.abspath(entry.get("file", "")) == want:
+            return keep or ["-std=c++20"]
+        fallback = fallback or keep
+    return fallback or ["-std=c++20"]
+
+
+def clang_tokens(cindex, path, text, args):
+    tu = cindex.TranslationUnit.from_source(
+        path, args=args, unsaved_files=[(path, text)],
+        options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    kinds = cindex.TokenKind
+    out = []
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        if tok.location.file and tok.location.file.name != path:
+            continue
+        spelling = tok.spelling
+        line = tok.location.line
+        if tok.kind == kinds.COMMENT:
+            out.append(Token("comment", spelling, line))
+        elif tok.kind == kinds.LITERAL:
+            out.append(Token("literal", spelling, line))
+        elif tok.kind == kinds.IDENTIFIER:
+            out.append(Token("id", spelling, line))
+        elif tok.kind == kinds.KEYWORD:
+            out.append(Token("kw" if spelling in _KEYWORDS else "id",
+                             spelling, line))
+        else:  # punctuation: split multi-char operators into chars
+            for ch in spelling:
+                out.append(Token("punct", ch, line))
+    return out
+
+
+# --------------------------------------------------------------------
+# Suppression handling
+# --------------------------------------------------------------------
+
+def suppressed_lines(tokens):
+    """Map rule-name -> set of line numbers waived by NOLINT comments."""
+    waived = {}
+    for tok in tokens:
+        if tok.kind != "comment" or "NOLINT" not in tok.spelling:
+            continue
+        m = NOLINT_RE.search(tok.spelling)
+        if not m:
+            continue
+        variant = m.group(1) or ""
+        names = [s.strip() for s in (m.group(3) or "").split(",")
+                 if s.strip()]
+        last_line = tok.line + tok.spelling.count("\n")
+        target = last_line + 1 if variant == "NEXTLINE" else tok.line
+        for name in names or ["*"]:
+            waived.setdefault(name, set()).add(target)
+    return waived
+
+
+def is_waived(waived, rule_name, line):
+    for name in (rule_name, "*"):
+        if line in waived.get(name, set()):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------
+# Rule implementations (token-level; shared by both engines)
+# --------------------------------------------------------------------
+
+def path_in(path, prefixes):
+    rel = path.replace(os.sep, "/")
+    return any(f"/{p}/" in f"/{rel}/" or rel.startswith(p + "/")
+               for p in prefixes)
+
+
+def check_determinism(path, tokens, waived, findings):
+    if not path_in(path, DETERMINISTIC_DIRS):
+        return
+    code = [t for t in tokens if t.kind in ("id", "kw", "punct")]
+    for idx, tok in enumerate(code):
+        if tok.kind != "id":
+            continue
+        reason = None
+        name = tok.spelling
+        if name in BANNED_RANDOM:
+            reason = BANNED_RANDOM[name]
+        elif name in BANNED_CLOCK:
+            reason = BANNED_CLOCK[name]
+        elif name == "time":
+            # Only the call `time(...)` is banned; `time` as a field or
+            # parameter name stays legal.
+            nxt = code[idx + 1] if idx + 1 < len(code) else None
+            prv = code[idx - 1] if idx > 0 else None
+            called = nxt is not None and nxt.spelling == "("
+            member = prv is not None and prv.spelling in (".", ">")
+            if called and not member:
+                reason = "wall-clock time() must not feed simulated " \
+                         "output"
+        if reason and not is_waived(waived, RULES["R1"], tok.line):
+            findings.append(Finding(
+                path, tok.line, "R1",
+                f"'{name}' in a deterministic directory: {reason}; "
+                f"common::Prng is the only sanctioned randomness"))
+
+
+def check_raw_new_delete(path, tokens, waived, findings):
+    code = [t for t in tokens if t.kind in ("id", "kw", "punct",
+                                            "literal")]
+    for idx, tok in enumerate(code):
+        if tok.kind != "kw" or tok.spelling not in ("new", "delete"):
+            continue
+        prv = code[idx - 1] if idx > 0 else None
+        nxt = code[idx + 1] if idx + 1 < len(code) else None
+        # `#include <new>` lexes the header name as the keyword.
+        if (prv is not None and prv.spelling == "<" and
+                nxt is not None and nxt.spelling == ">"):
+            continue
+        if tok.spelling == "delete":
+            # `= delete` (deleted functions) and `operator delete`.
+            if prv is not None and prv.spelling in ("=", "operator"):
+                continue
+        else:
+            # Placement new `new (addr) T` is allowed: it constructs
+            # into storage owned elsewhere. `operator new` decls too.
+            if prv is not None and prv.spelling == "operator":
+                continue
+            if nxt is not None and nxt.spelling == "(":
+                continue
+        if is_waived(waived, RULES["R2"], tok.line):
+            continue
+        findings.append(Finding(
+            path, tok.line, "R2",
+            f"raw '{tok.spelling}': ownership must go through smart "
+            f"pointers or containers"))
+
+
+def check_nolint_justified(path, tokens, findings):
+    for tok in tokens:
+        if tok.kind != "comment":
+            continue
+        for m in re.finditer(r"NOLINT\w*", tok.spelling):
+            sub = tok.spelling[m.start():]
+            mm = NOLINT_RE.match(sub)
+            variant = mm.group(1) or ""
+            if variant == "END":
+                continue  # the BEGIN marker carries the justification
+            trailing = (mm.group(4) or "").strip()
+            # Strip comment furniture, then require real words.
+            trailing = re.sub(r"[*/\s:;,-]+", " ", trailing).strip()
+            line = tok.line + tok.spelling.count("\n", 0, m.start())
+            if len(trailing) < 8:
+                findings.append(Finding(
+                    path, line, "R3",
+                    "NOLINT without a written justification; append "
+                    "': <why this suppression is sound>'"))
+            if not mm.group(3):
+                findings.append(Finding(
+                    path, line, "R3",
+                    "blanket NOLINT; name the suppressed check(s), "
+                    "e.g. NOLINT(concurrency-mt-unsafe)"))
+
+
+def check_raw_sync(path, tokens, waived, findings):
+    if path.replace(os.sep, "/").endswith("common/sync.h"):
+        return
+    code = [t for t in tokens if t.kind in ("id", "kw", "punct")]
+    for idx, tok in enumerate(code):
+        if tok.kind != "id" or tok.spelling not in BANNED_SYNC:
+            continue
+        # Require the std:: qualification: `std` `:` `:` `mutex`.
+        if idx < 3:
+            continue
+        if not (code[idx - 1].spelling == ":" and
+                code[idx - 2].spelling == ":" and
+                code[idx - 3].spelling == "std"):
+            continue
+        if is_waived(waived, RULES["R4"], tok.line):
+            continue
+        findings.append(Finding(
+            path, tok.line, "R4",
+            f"raw std::{tok.spelling}: use the annotated wrappers in "
+            f"common/sync.h (Mutex/SharedMutex/CondVar + MutexLock/"
+            f"ReaderLock/WriterLock) so thread-safety analysis sees "
+            f"the contract"))
+
+
+def lint_file(path, repo_root, tokens):
+    rel = os.path.relpath(path, repo_root)
+    findings = []
+    waived = suppressed_lines(tokens)
+    check_determinism(rel, tokens, waived, findings)
+    check_raw_new_delete(rel, tokens, waived, findings)
+    check_nolint_justified(rel, tokens, findings)
+    check_raw_sync(rel, tokens, waived, findings)
+    return findings
+
+
+# --------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------
+
+def collect_files(repo_root, paths):
+    if paths:
+        out = []
+        for p in paths:
+            if os.path.isdir(p):
+                for dirpath, _, names in os.walk(p):
+                    out.extend(os.path.join(dirpath, n) for n in names
+                               if n.endswith((".h", ".cc")))
+            else:
+                out.append(p)
+        return sorted(out)
+    src = os.path.join(repo_root, "src")
+    out = []
+    for dirpath, _, names in os.walk(src):
+        out.extend(os.path.join(dirpath, n) for n in names
+                   if n.endswith((".h", ".cc")))
+    return sorted(out)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="ANSMET determinism/style linter (rules R1-R4)")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories (default: <repo>/src)")
+    ap.add_argument("--repo", default=None,
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--build-dir", default=None,
+                    help="build tree with compile_commands.json "
+                         "(libclang engine only; default: <repo>/build)")
+    ap.add_argument("--engine", choices=("auto", "libclang", "lexical"),
+                    default="auto",
+                    help="auto: libclang when importable, else the "
+                         "built-in lexer; libclang: require it and "
+                         "SKIP (exit 0) when absent")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule table and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, name in RULES.items():
+            print(f"{rule}  {name}")
+        return 0
+
+    repo_root = os.path.abspath(
+        args.repo or
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+    build_dir = args.build_dir or os.path.join(repo_root, "build")
+
+    cindex = None
+    if args.engine in ("auto", "libclang"):
+        cindex = try_import_libclang()
+        if cindex is None:
+            if args.engine == "libclang":
+                print("ansmet_lint: libclang python bindings not found;"
+                      " SKIPPING AST engine (install python3-clang)",
+                      file=sys.stderr)
+                return 0
+            print("ansmet_lint: libclang python bindings not found; "
+                  "falling back to the built-in lexer (findings are "
+                  "identical for rules R1-R4)", file=sys.stderr)
+
+    files = collect_files(repo_root, args.paths)
+    if not files:
+        print("ansmet_lint: no input files", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"ansmet_lint: cannot read {path}: {e}",
+                  file=sys.stderr)
+            return 2
+        if cindex is not None:
+            tokens = clang_tokens(cindex, path, text,
+                                  compile_args_for(path, build_dir))
+        else:
+            tokens = lex_tokens(text)
+        findings.extend(lint_file(path, repo_root, tokens))
+
+    for finding in findings:
+        print(finding.render())
+    engine = "libclang" if cindex is not None else "lexical"
+    if findings:
+        print(f"ansmet_lint: {len(findings)} finding(s) over "
+              f"{len(files)} files ({engine} engine)", file=sys.stderr)
+        return 1
+    print(f"ansmet_lint: clean ({len(files)} files, {engine} engine)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

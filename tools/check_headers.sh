@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Header self-containment gate: compile every header under src/ as its
+# own translation unit (g++/clang++ -fsyntax-only). A header that only
+# compiles after its includer happens to pull in the right things is a
+# refactoring landmine; this keeps "include what you use" honest.
+#
+# Usage: tools/check_headers.sh [compiler]
+#
+# The compiler defaults to c++, then falls back across g++/clang++.
+# Exits non-zero listing every header that fails to stand alone.
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+cxx="${1:-}"
+if [ -z "$cxx" ]; then
+    for cand in c++ g++ clang++; do
+        if command -v "$cand" >/dev/null 2>&1; then
+            cxx="$cand"
+            break
+        fi
+    done
+fi
+if [ -z "$cxx" ] || ! command -v "$cxx" >/dev/null 2>&1; then
+    echo "check_headers: no C++ compiler found; SKIPPING gate" >&2
+    exit 0
+fi
+
+# Headers that are legitimately not standalone. Keep this list empty
+# unless a header is by design a fragment (none are today).
+exempt=()
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+mapfile -t headers < <(cd "$repo_root" && find src -name '*.h' | sort)
+echo "check_headers: $cxx -fsyntax-only over ${#headers[@]} headers"
+
+status=0
+for h in "${headers[@]}"; do
+    skip=0
+    for e in "${exempt[@]:-}"; do
+        [ "$h" = "$e" ] && skip=1
+    done
+    [ "$skip" -eq 1 ] && continue
+    rel="${h#src/}"
+    tu="$tmpdir/tu.cc"
+    printf '#include "%s"\n' "$rel" > "$tu"
+    if ! "$cxx" -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
+            -I "$repo_root/src" "$tu" 2> "$tmpdir/err"; then
+        status=1
+        echo "check_headers: NOT SELF-CONTAINED: $h" >&2
+        cat "$tmpdir/err" >&2
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_headers: clean"
+else
+    echo "check_headers: add the missing includes/declarations above" >&2
+fi
+exit "$status"

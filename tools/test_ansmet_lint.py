@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/ansmet_lint.py (stdlib unittest only).
+
+Run directly:  python3 tools/test_ansmet_lint.py
+Each rule R1-R4 gets a triggering fixture and a passing fixture, plus
+tests for the NOLINT suppression mechanics, the forced-libclang skip
+path, and a clean run over the real tree.
+"""
+
+import contextlib
+import io
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import ansmet_lint  # noqa: E402
+
+REPO = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+
+
+class LintRunMixin:
+    """Writes fixture files into a fake repo tree and runs the linter
+    over them with the lexical engine (deterministic, no libclang)."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, rel, text):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def run_lint(self, *paths, engine="lexical"):
+        out, err = io.StringIO(), io.StringIO()
+        argv = ["--engine", engine, "--repo", self.root, *paths]
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = ansmet_lint.main(argv)
+        return code, out.getvalue(), err.getvalue()
+
+
+class R1DeterminismTest(LintRunMixin, unittest.TestCase):
+    def test_rand_in_sim_dir_flags(self):
+        p = self.write("src/sim/model.cc",
+                       "int f() { return rand(); }\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-determinism", out)
+        self.assertIn("'rand'", out)
+
+    def test_std_random_engine_in_anns_flags(self):
+        p = self.write("src/anns/build.cc",
+                       "#include <random>\n"
+                       "std::mt19937 g{42};\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("mt19937", out)
+
+    def test_system_clock_in_et_flags(self):
+        p = self.write("src/et/policy.cc",
+                       "auto t = std::chrono::system_clock::now();\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("system_clock", out)
+
+    def test_time_call_flags_but_time_field_passes(self):
+        bad = self.write("src/dram/timing.cc",
+                         "long now() { return time(nullptr); }\n")
+        code, out, _ = self.run_lint(bad)
+        self.assertEqual(code, 1)
+        self.assertIn("'time'", out)
+
+        good = self.write("src/dram/timing2.cc",
+                          "struct Ev { long time; };\n"
+                          "long g(Ev &e) { return e.time; }\n"
+                          "long h(Ev *e) { return e->time; }\n")
+        code, _, _ = self.run_lint(good)
+        self.assertEqual(code, 0)
+
+    def test_same_tokens_outside_deterministic_dirs_pass(self):
+        p = self.write("src/common/prng.cc",
+                       "// Prng implementation may mention rand() in "
+                       "comments and use\n"
+                       "// whatever it wants internally.\n"
+                       "int seedFromEnv() { return 0; }\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_banned_name_in_string_or_comment_passes(self):
+        p = self.write("src/sim/doc.cc",
+                       '// rand() is banned here.\n'
+                       'const char *kMsg = "do not call rand()";\n')
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
+class R2RawNewTest(LintRunMixin, unittest.TestCase):
+    def test_raw_new_flags(self):
+        p = self.write("src/common/pool.cc",
+                       "int *leak() { return new int(7); }\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-rawnew", out)
+
+    def test_raw_delete_flags(self):
+        p = self.write("src/common/pool.cc",
+                       "void drop(int *p) { delete p; }\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("'delete'", out)
+
+    def test_deleted_function_passes(self):
+        p = self.write("src/common/nocopy.h",
+                       "struct NoCopy {\n"
+                       "    NoCopy(const NoCopy &) = delete;\n"
+                       "    NoCopy &operator=(const NoCopy &) = delete;\n"
+                       "};\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_placement_new_passes(self):
+        p = self.write("src/common/arena.cc",
+                       "#include <new>\n"
+                       "int *at(void *mem) { return new (mem) int(0); }\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_suppressed_with_justification_passes(self):
+        p = self.write(
+            "src/common/singleton.cc",
+            "// NOLINTNEXTLINE(ansmet-rawnew): leaked singleton; "
+            "atexit-safe.\n"
+            "int *g = new int(1);\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
+class R3NolintJustificationTest(LintRunMixin, unittest.TestCase):
+    def test_bare_nolint_flags(self):
+        p = self.write("src/common/x.cc",
+                       "int v = 0; // NOLINT\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-nolint", out)
+        # Bare NOLINT is doubly wrong: no check name, no justification.
+        self.assertIn("blanket", out)
+        self.assertIn("justification", out)
+
+    def test_named_but_unjustified_flags(self):
+        p = self.write(
+            "src/common/x.cc",
+            "int v = 0; // NOLINT(concurrency-mt-unsafe)\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("justification", out)
+        self.assertNotIn("blanket", out)
+
+    def test_named_and_justified_passes(self):
+        p = self.write(
+            "src/common/x.cc",
+            "// NOLINTNEXTLINE(concurrency-mt-unsafe): config knob read "
+            "once at startup.\n"
+            "const char *e = std::getenv(\"X\");\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_nolintend_needs_no_justification(self):
+        p = self.write(
+            "src/common/x.cc",
+            "// NOLINTBEGIN(some-check): generated table below.\n"
+            "int t[3] = {1, 2, 3};\n"
+            "// NOLINTEND(some-check)\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
+class R4RawSyncTest(LintRunMixin, unittest.TestCase):
+    def test_std_mutex_member_flags(self):
+        p = self.write("src/et/cache.h",
+                       "#include <mutex>\n"
+                       "struct C { std::mutex mu; };\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-rawsync", out)
+        self.assertIn("common/sync.h", out)
+
+    def test_std_lock_guard_flags(self):
+        p = self.write("src/obs/sink.cc",
+                       "#include <mutex>\n"
+                       "void f(std::mutex &m) {"
+                       " std::lock_guard<std::mutex> lk(m); }\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("lock_guard", out)
+
+    def test_sync_header_itself_is_exempt(self):
+        p = self.write("src/common/sync.h",
+                       "#include <mutex>\n"
+                       "class Mutex { std::mutex mu_; };\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_unqualified_identifier_passes(self):
+        # A field named `mutex` (no std:: qualification) is fine.
+        p = self.write("src/common/y.h",
+                       "struct HwDesc { int mutex; };\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
+class SuppressionMechanicsTest(LintRunMixin, unittest.TestCase):
+    def test_same_line_nolint_waives_only_that_line(self):
+        p = self.write(
+            "src/sim/r.cc",
+            "int a = rand(); // NOLINT(ansmet-determinism): fixture.\n"
+            "int b = rand();\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertEqual(out.count("ansmet-determinism"), 1)
+        self.assertIn("r.cc:2:", out)
+
+    def test_wrong_rule_name_does_not_waive(self):
+        p = self.write(
+            "src/sim/r.cc",
+            "int a = rand(); // NOLINT(ansmet-rawnew): wrong rule.\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-determinism", out)
+
+
+class EngineAndDriverTest(LintRunMixin, unittest.TestCase):
+    def test_forced_libclang_absent_skips_with_exit_zero(self):
+        env_key = "ANSMET_LINT_FORCE_NO_LIBCLANG"
+        old = os.environ.get(env_key)
+        os.environ[env_key] = "1"
+        try:
+            p = self.write("src/sim/bad.cc",
+                           "int f() { return rand(); }\n")
+            code, _, err = self.run_lint(p, engine="libclang")
+            self.assertEqual(code, 0)
+            self.assertIn("SKIPPING", err)
+        finally:
+            if old is None:
+                del os.environ[env_key]
+            else:
+                os.environ[env_key] = old
+
+    def test_auto_engine_reports_fallback_but_still_finds(self):
+        env_key = "ANSMET_LINT_FORCE_NO_LIBCLANG"
+        old = os.environ.get(env_key)
+        os.environ[env_key] = "1"
+        try:
+            p = self.write("src/sim/bad.cc",
+                           "int f() { return rand(); }\n")
+            code, out, err = self.run_lint(p, engine="auto")
+            self.assertEqual(code, 1)
+            self.assertIn("falling back", err)
+            self.assertIn("ansmet-determinism", out)
+        finally:
+            if old is None:
+                del os.environ[env_key]
+            else:
+                os.environ[env_key] = old
+
+    def test_directory_walk_finds_nested_files(self):
+        self.write("src/ndp/deep/unit.cc",
+                   "int f() { return rand(); }\n")
+        code, out, _ = self.run_lint(os.path.join(self.root, "src"))
+        self.assertEqual(code, 1)
+        self.assertIn("unit.cc", out)
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = ansmet_lint.main(["--list-rules"])
+        self.assertEqual(code, 0)
+        for name in ("ansmet-determinism", "ansmet-rawnew",
+                     "ansmet-nolint", "ansmet-rawsync"):
+            self.assertIn(name, out.getvalue())
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repo_src_is_clean(self):
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = ansmet_lint.main(
+                ["--engine", "lexical", "--repo", REPO])
+        self.assertEqual(
+            code, 0,
+            f"linter found issues in the real tree:\n{out.getvalue()}")
+
+
+if __name__ == "__main__":
+    unittest.main()
