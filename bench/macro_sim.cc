@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Macro-benchmark of the simulator hot path.
+ *
+ * Two kinds of families, both emitted into BENCH_sim.json by CI
+ * (`--benchmark_out=BENCH_sim.json --benchmark_out_format=json`):
+ *
+ *  - sim_queue/<workload>/<tier>: the same synthetic discrete-event
+ *    workload driven through the production calendar queue ("opt",
+ *    sim/event_queue.h) and the pre-overhaul heap queue ("ref",
+ *    sim/reference_queue.h). tools/bench_diff.py --speedup pairs each
+ *    opt entry with its ref sibling; CI gates
+ *        python3 tools/bench_diff.py --speedup BENCH_sim.json \
+ *            --min-ratio 2.0 --require sim_queue/replay/opt
+ *    The delta mixture mimics the DRAM model: mostly short
+ *    scheduleIn() hops, a tail of refresh/starvation-scale deltas, and
+ *    a sliver beyond EventQueue::kHorizonTicks to exercise the
+ *    overflow tier.
+ *
+ *  - sim_replay/<workload>/opt: an end-to-end fig06-style replay
+ *    through the full SystemModel at several N, reporting true
+ *    simulator events/sec (items/sec = delta of the sim.events
+ *    counter). Informational: it has no ref sibling (the system model
+ *    is hard-wired to the production queue), so bench_diff skips it
+ *    when computing gated ratios.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/prng.h"
+#include "common/types.h"
+#include "core/design.h"
+#include "core/experiment.h"
+#include "core/system.h"
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+#include "sim/reference_queue.h"
+
+namespace {
+
+using namespace ansmet;
+
+// --------------------------------------------------------------------
+// Synthetic queue workloads (templated over the queue under test).
+// --------------------------------------------------------------------
+
+/**
+ * DRAM-model-shaped delta mixture (ticks = ps), spending a single
+ * Prng draw per event: 7 low bits select the band, the remaining 57
+ * scale into it (multiply-shift; keeps the workload's own cost small
+ * so the measured time is the queue, not the generator).
+ */
+Tick
+drawDelta(std::uint64_t r)
+{
+    const std::uint64_t sel = r & 127;
+    const std::uint64_t mag = r >> 7;
+    const auto scale = [mag](std::uint64_t range) {
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(mag) * range) >> 57);
+    };
+    if (sel < 90)
+        return 100 + scale(4900); // tCK..row-cycle scale (~70%)
+    if (sel < 122)
+        return 5'000 + scale(95'000); // queue/refresh scale (~25%)
+    if (sel < 127)
+        return 200'000 + scale(1'800'000); // starvation scale
+    // Past the calendar horizon: lands in the overflow heap.
+    return sim::EventQueue::kHorizonTicks + 1 + scale(20'000'000);
+}
+
+/**
+ * N self-rescheduling actors racing through a shared event budget.
+ * Actor i draws deltas from its own Prng stream, so the executed
+ * schedule is identical for every queue implementation. Callbacks
+ * capture 24 bytes ([this, i, salt]) to match the simulator's real
+ * event lambdas ([this, idx, when] in the DRAM controller) — beyond
+ * libstdc++ std::function's 16-byte inline buffer, within the
+ * production queue's 48-byte budget.
+ */
+template <class Queue>
+class ReplayWorkload
+{
+  public:
+    ReplayWorkload(unsigned actors, std::uint64_t events,
+                   std::uint64_t seed)
+        : events_left_(events)
+    {
+        rngs_.reserve(actors);
+        for (unsigned i = 0; i < actors; ++i)
+            rngs_.push_back(Prng::stream(seed, i));
+        for (unsigned i = 0; i < actors; ++i)
+            reschedule(i);
+    }
+
+    std::uint64_t
+    run()
+    {
+        q_.run();
+        return executed_ + (checksum_ & 1); // keep the salts live
+    }
+
+  private:
+    void
+    reschedule(unsigned i)
+    {
+        const std::uint64_t salt = rngs_[i].next();
+        q_.scheduleIn(drawDelta(salt),
+                      [this, i, salt] { fire(i, salt); });
+    }
+
+    void
+    fire(unsigned i, std::uint64_t salt)
+    {
+        checksum_ ^= salt;
+        ++executed_;
+        if (events_left_ == 0)
+            return;
+        --events_left_;
+        reschedule(i);
+    }
+
+    Queue q_;
+    std::vector<Prng> rngs_;
+    std::uint64_t events_left_;
+    std::uint64_t executed_ = 0;
+    std::uint64_t checksum_ = 0;
+};
+
+template <class Queue>
+void
+BM_Replay(benchmark::State &state, unsigned actors)
+{
+    // Large enough to amortize queue construction the way a real
+    // simulation does (fig06 runs ~3e7 events per queue instance).
+    constexpr std::uint64_t kEventsPerIter = 1u << 20;
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        ReplayWorkload<Queue> w(actors, kEventsPerIter, 0xA11CEu);
+        executed += w.run();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+}
+
+/**
+ * Deschedule-heavy workload: every odd schedule cancels the previous
+ * one, so half the queue is tombstones by the time it drains. The
+ * reference queue pays a cancelled-list scan per pop here; the
+ * production queue pays one flag write per cancel.
+ */
+template <class Queue>
+void
+BM_Cancel(benchmark::State &state)
+{
+    constexpr std::uint64_t kOps = 8192;
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        Queue q;
+        Prng rng(0xCA9CE1u);
+        std::vector<std::uint64_t> handles;
+        handles.reserve(kOps);
+        for (std::uint64_t i = 0; i < kOps; ++i) {
+            handles.push_back(q.schedule(1 + rng.below(1'000'000),
+                                         [&executed] { ++executed; }));
+            if (i & 1)
+                q.deschedule(handles[i - 1]);
+        }
+        q.run();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+}
+
+template <class Queue>
+void
+registerQueueBenches(const char *tier)
+{
+    struct
+    {
+        const char *name;
+        unsigned actors;
+    } const sizes[] = {
+        {"replay_narrow", 64},   // deep per-day heaps
+        {"replay", 1024},        // DRAM-model-like concurrency (gated)
+        {"replay_wide", 16384},  // sparse buckets, bitmap scans
+    };
+    for (const auto &s : sizes) {
+        benchmark::RegisterBenchmark(
+            ("sim_queue/" + std::string(s.name) + "/" + tier).c_str(),
+            [actors = s.actors](benchmark::State &st) {
+                BM_Replay<Queue>(st, actors);
+            });
+    }
+    benchmark::RegisterBenchmark(
+        ("sim_queue/cancel/" + std::string(tier)).c_str(),
+        [](benchmark::State &st) { BM_Cancel<Queue>(st); });
+}
+
+// --------------------------------------------------------------------
+// End-to-end replay through the full system model.
+// --------------------------------------------------------------------
+
+std::uint64_t
+simEvents()
+{
+    const obs::Snapshot snap = obs::Registry::instance().snapshot();
+    const auto it = snap.counters.find("sim.events");
+    return it == snap.counters.end() ? 0 : it->second;
+}
+
+/** Small fig06-style context; the seed is distinct from every other
+ *  bench/test configuration so the on-disk graph caches never collide. */
+const core::ExperimentContext &
+replayContext(std::size_t num_vectors)
+{
+    auto make = [num_vectors] {
+        core::ExperimentConfig cfg;
+        cfg.dataset = anns::DatasetId::kSift;
+        cfg.numVectors = num_vectors;
+        cfg.numQueries = 4;
+        cfg.k = 10;
+        cfg.efSearch = 50;
+        cfg.seed = 7321;
+        cfg.hnsw = anns::HnswParams{16, 60, 42};
+        cfg.profile.numSamples = 50;
+        cfg.profile.maxPairs = 800;
+        return core::ExperimentContext(cfg);
+    };
+    static const core::ExperimentContext small = [&] {
+        return core::ExperimentContext(make());
+    }();
+    // One cached context per supported N (currently two).
+    static const core::ExperimentContext large = [&] {
+        auto cfg = small.config();
+        cfg.numVectors = 2400;
+        return core::ExperimentContext(cfg);
+    }();
+    return num_vectors <= 1200 ? small : large;
+}
+
+void
+BM_SimReplay(benchmark::State &state, core::Design design,
+             std::size_t num_vectors)
+{
+    const core::ExperimentContext &ctx = replayContext(num_vectors);
+    const std::uint64_t before = simEvents();
+    for (auto _ : state) {
+        core::SystemConfig cfg = ctx.systemConfig(design);
+        core::SystemModel model(cfg, *ctx.dataset().base,
+                                ctx.dataset().metric(), &ctx.profile(),
+                                ctx.hotVectors());
+        benchmark::DoNotOptimize(model.run(ctx.traces()).makespan);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(simEvents() - before));
+}
+
+void
+registerReplayBenches()
+{
+    struct
+    {
+        const char *name;
+        core::Design design;
+        std::size_t numVectors;
+    } const runs[] = {
+        {"sim_replay/fig06_cpu/opt", core::Design::kCpuBase, 1200},
+        {"sim_replay/fig06_ndp/opt", core::Design::kNdpEtOpt, 1200},
+        {"sim_replay/fig06_ndp_2x/opt", core::Design::kNdpEtOpt, 2400},
+    };
+    for (const auto &r : runs) {
+        benchmark::RegisterBenchmark(
+            r.name,
+            [design = r.design, n = r.numVectors](benchmark::State &st) {
+                BM_SimReplay(st, design, n);
+            })
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerQueueBenches<sim::ReferenceEventQueue>("ref");
+    registerQueueBenches<sim::EventQueue>("opt");
+    registerReplayBenches();
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

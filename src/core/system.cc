@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -53,7 +52,20 @@ replayMetrics()
 class SystemModel::QueryContext
 {
   public:
-    QueryContext(SystemModel &sys, unsigned id) : sys_(sys), id_(id) {}
+    QueryContext(SystemModel &sys, unsigned id) : sys_(sys), id_(id)
+    {
+        // Per-unit scratch is sized once here and cleared (never
+        // reallocated) across steps; see DESIGN.md, "Hot-path
+        // allocation rules".
+        if (isNdp(sys.cfg_.design)) {
+            const unsigned n = sys.cfg_.ndpUnits;
+            const unsigned k = std::max(1u, sys.cfg_.qshrsPerQuery);
+            batch_scratch_.resize(n);
+            unit_pending_.assign(n, 0);
+            results_fetched_.assign(n, 0);
+            query_loaded_bits_.assign(n + (k + 63) / 64, 0);
+        }
+    }
 
     void start() { pickNext(); }
 
@@ -75,8 +87,22 @@ class SystemModel::QueryContext
         stats_.start = sys_.eq_.now();
         step_ = 0;
         fetch_cursor_ = 0;
-        query_loaded_units_.clear();
+        std::fill(query_loaded_bits_.begin(), query_loaded_bits_.end(),
+                  std::uint64_t{0});
         startStep();
+    }
+
+    /** Mark (unit, qshr slot) as query-loaded; true on first use. */
+    bool
+    loadQuerySlot(unsigned unit, unsigned slot)
+    {
+        const auto key = static_cast<std::uint64_t>(unit) * 64 + slot;
+        std::uint64_t &word = query_loaded_bits_[key >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (key & 63);
+        if ((word & bit) != 0)
+            return false;
+        word |= bit;
+        return true;
     }
 
     /**
@@ -193,13 +219,16 @@ class SystemModel::QueryContext
     ndpOffload()
     {
         const TraceStep &s = trace_->steps[step_];
-        std::unordered_map<unsigned, UnitBatch> batches;
 
         pending_sub_ = 0;
         max_tasks_per_unit_ = 0;
-        unit_pending_.clear();
-        results_fetched_.clear();
+        results_fetched_count_ = 0;
+        units_in_step_.clear();
 
+        // Batches accumulate in per-context scratch indexed by unit;
+        // units_in_step_ records first-touch order, which replaces the
+        // old per-step unordered_map (and its per-step allocations)
+        // while staying deterministic.
         for (const CompareTask &t : s.tasks) {
             const unsigned group = chooseGroup(t.vec);
             const auto &places = sys_.placeOf(t.vec, group);
@@ -217,7 +246,13 @@ class SystemModel::QueryContext
                 task.onComplete = [this, unit](Tick when) {
                     ndpTaskDone(unit, when);
                 };
-                batches[unit].tasks.push_back(std::move(task));
+                UnitBatch &batch = batch_scratch_[unit];
+                if (batch.tasks.empty()) {
+                    units_in_step_.push_back(unit);
+                    unit_pending_[unit] = 0;
+                    results_fetched_[unit] = 0;
+                }
+                batch.tasks.push_back(std::move(task));
                 ++unit_pending_[unit];
                 ++pending_sub_;
             }
@@ -226,10 +261,9 @@ class SystemModel::QueryContext
         // Instruction writes per unit: set-query per QSHR used (first
         // use only) plus one set-search per 8 tasks.
         const unsigned k = std::max(1u, sys_.cfg_.qshrsPerQuery);
-        units_in_step_.clear();
         pending_writes_ = 0;
-        for (auto &[unit, batch] : batches) {
-            units_in_step_.push_back(unit);
+        for (const unsigned unit : units_in_step_) {
+            UnitBatch &batch = batch_scratch_[unit];
             const unsigned qshrs_used = std::min<unsigned>(
                 k, static_cast<unsigned>(batch.tasks.size()));
             unsigned writes = static_cast<unsigned>(
@@ -242,7 +276,7 @@ class SystemModel::QueryContext
                 std::max(1u, dims_per_sub *
                                  anns::scalarBytes(sys_.vs_.type())));
             for (unsigned slot = 0; slot < qshrs_used; ++slot) {
-                if (query_loaded_units_.insert(unit * 64 + slot).second)
+                if (loadQuerySlot(unit, slot))
                     writes += ndp::setQueryWrites(qbytes);
             }
             batch.writes = writes;
@@ -259,25 +293,29 @@ class SystemModel::QueryContext
 
         // Issue the instruction stream. The final write of each unit's
         // batch hands its tasks to that unit, spread across this
-        // query's QSHRs.
+        // query's QSHRs. The tasks stay parked in the scratch until
+        // that write's completion event fires (safe: the next step
+        // cannot start until every write completed), so the event
+        // captures only the unit index.
         unsigned issued_units = 0;
-        for (auto &[unit, batch] : batches) {
+        for (const unsigned unit : units_in_step_) {
+            const UnitBatch &batch = batch_scratch_[unit];
             const unsigned ch = sys_.channelOf(unit);
             for (unsigned w = 0; w + 1 < batch.writes; ++w) {
                 sys_.hostCpu_->channel(ch).enqueueBusTransfer(
                     true, [this](Tick) { writeDone(); });
             }
             sys_.hostCpu_->channel(ch).enqueueBusTransfer(
-                true,
-                [this, unit, k,
-                 tasks = std::move(batch.tasks)](Tick) mutable {
+                true, [this, unit, k](Tick) {
+                    UnitBatch &b = batch_scratch_[unit];
                     const unsigned nq = sys_.cfg_.ndpParams.numQshrs;
-                    for (std::size_t i = 0; i < tasks.size(); ++i) {
+                    for (std::size_t i = 0; i < b.tasks.size(); ++i) {
                         const unsigned qshr =
                             (id_ * k + static_cast<unsigned>(i) % k) % nq;
                         sys_.units_[unit]->submit(qshr,
-                                                  std::move(tasks[i]));
+                                                  std::move(b.tasks[i]));
                     }
+                    b.tasks.clear(); // keeps capacity for the next step
                     writeDone();
                 });
             ++issued_units;
@@ -348,23 +386,26 @@ class SystemModel::QueryContext
             return;
         // Probe only the units whose results are still outstanding;
         // each successful probe also transfers that unit's results.
-        std::vector<unsigned> targets;
+        poll_targets_.clear();
         for (const unsigned unit : units_in_step_) {
-            if (!results_fetched_.count(unit))
-                targets.push_back(unit);
+            if (!results_fetched_[unit])
+                poll_targets_.push_back(unit);
         }
-        ANSMET_ASSERT(!targets.empty());
-        poll_inflight_ = static_cast<unsigned>(targets.size());
+        ANSMET_ASSERT(!poll_targets_.empty());
+        poll_inflight_ = static_cast<unsigned>(poll_targets_.size());
         stats_.polls += poll_inflight_;
         replayMetrics().polls.add(poll_inflight_);
-        for (const unsigned unit : targets) {
+        for (const unsigned unit : poll_targets_) {
             sys_.hostCpu_->channel(sys_.channelOf(unit))
                 .enqueueBusTransfer(false, [this, unit](Tick) {
-                    if (unit_pending_[unit] == 0)
-                        results_fetched_.insert(unit);
+                    if (unit_pending_[unit] == 0 &&
+                        !results_fetched_[unit]) {
+                        results_fetched_[unit] = 1;
+                        ++results_fetched_count_;
+                    }
                     if (--poll_inflight_ != 0)
                         return;
-                    if (results_fetched_.size() ==
+                    if (results_fetched_count_ ==
                         units_in_step_.size()) {
                         collected();
                     } else {
@@ -505,14 +546,19 @@ class SystemModel::QueryContext
     unsigned pending_writes_ = 0;
     unsigned poll_inflight_ = 0;
     unsigned max_tasks_per_unit_ = 0;
+    std::size_t results_fetched_count_ = 0;
     bool all_tasks_submitted_ = false;
     bool tasks_done_ = false;
     bool collected_ = false;
 
+    // Reusable per-context scratch, indexed by NDP unit (sized in the
+    // constructor, cleared per step, never reallocated).
+    std::vector<UnitBatch> batch_scratch_;
     std::vector<unsigned> units_in_step_;
-    std::unordered_set<unsigned> query_loaded_units_;
-    std::unordered_map<unsigned, unsigned> unit_pending_;
-    std::unordered_set<unsigned> results_fetched_;
+    std::vector<unsigned> unit_pending_;
+    std::vector<std::uint8_t> results_fetched_;
+    std::vector<unsigned> poll_targets_;
+    std::vector<std::uint64_t> query_loaded_bits_;
 };
 
 void

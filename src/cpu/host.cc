@@ -38,7 +38,7 @@ HostCpu::HostCpu(sim::EventQueue &eq, const HostParams &hp,
 }
 
 void
-HostCpu::compute(std::uint64_t cycles, std::function<void()> done)
+HostCpu::compute(std::uint64_t cycles, Callback done)
 {
     const Tick ticks = cycles * hp_.period();
     compute_busy_ += ticks;
@@ -60,17 +60,42 @@ HostCpu::mapHostLine(std::uint64_t line) const
     return m;
 }
 
+std::uint32_t
+HostCpu::allocReadOp(unsigned lines, Callback done)
+{
+    std::uint32_t op;
+    if (read_free_.empty()) {
+        read_pool_.emplace_back();
+        op = static_cast<std::uint32_t>(read_pool_.size() - 1);
+    } else {
+        op = read_free_.back();
+        read_free_.pop_back();
+    }
+    read_pool_[op].remaining = lines;
+    read_pool_[op].done = std::move(done);
+    return op;
+}
+
 void
-HostCpu::read(Addr addr, unsigned lines, std::function<void()> done)
+HostCpu::lineDone(std::uint32_t op)
+{
+    ReadOp &r = read_pool_[op];
+    ANSMET_ASSERT(r.remaining > 0);
+    if (--r.remaining != 0)
+        return;
+    Callback done = std::move(r.done);
+    read_free_.push_back(op);
+    done();
+}
+
+void
+HostCpu::read(Addr addr, unsigned lines, Callback done)
 {
     ANSMET_ASSERT(lines >= 1);
     // Issue all lines; complete when the slowest returns. Cache hits
-    // add their hit latency; misses traverse to DRAM.
-    auto remaining = std::make_shared<unsigned>(lines);
-    auto fire = [this, remaining, done = std::move(done)]() {
-        if (--*remaining == 0)
-            done();
-    };
+    // add their hit latency; misses traverse to DRAM. The join state
+    // lives in a pooled ReadOp; events carry only its index.
+    const std::uint32_t op = allocReadOp(lines, std::move(done));
 
     unsigned hits = 0;
     for (unsigned i = 0; i < lines; ++i) {
@@ -80,16 +105,16 @@ HostCpu::read(Addr addr, unsigned lines, std::function<void()> done)
             static_cast<Tick>(caches_->hitCycles(level)) * hp_.period();
         if (level != cache::CacheHierarchy::Level::kMemory) {
             ++hits;
-            eq_.scheduleIn(lat, fire);
+            eq_.scheduleIn(lat, [this, op] { lineDone(op); });
             continue;
         }
         const MappedLine m = mapHostLine(a / kLineBytes);
         dram::Request req;
         req.addr = m.addr;
         req.isWrite = false;
-        req.onComplete = [this, lat, fire](Tick) {
+        req.onComplete = [this, lat, op](Tick) {
             // LLC-to-core return latency after the DRAM data arrives.
-            eq_.scheduleIn(lat, fire);
+            eq_.scheduleIn(lat, [this, op] { lineDone(op); });
         };
         channels_[m.channel]->enqueue(m.rank, std::move(req));
     }
@@ -100,21 +125,23 @@ HostCpu::read(Addr addr, unsigned lines, std::function<void()> done)
 }
 
 void
-HostCpu::writeUncached(unsigned channel, Addr addr,
-                       std::function<void()> done)
+HostCpu::writeUncached(unsigned channel, Addr addr, Callback done)
 {
     (void)addr; // buffer-chip register target: no bank is involved
+    // A Callback is too big to re-capture in a Request::Callback by
+    // design; park it in the read-op pool (a one-line "read").
+    const std::uint32_t op = allocReadOp(1, std::move(done));
     channels_[channel % channels_.size()]->enqueueBusTransfer(
-        true, [done = std::move(done)](Tick) { done(); });
+        true, [this, op](Tick) { lineDone(op); });
 }
 
 void
-HostCpu::readUncached(unsigned channel, Addr addr,
-                      std::function<void()> done)
+HostCpu::readUncached(unsigned channel, Addr addr, Callback done)
 {
     (void)addr;
+    const std::uint32_t op = allocReadOp(1, std::move(done));
     channels_[channel % channels_.size()]->enqueueBusTransfer(
-        false, [done = std::move(done)](Tick) { done(); });
+        false, [this, op](Tick) { lineDone(op); });
 }
 
 } // namespace ansmet::cpu

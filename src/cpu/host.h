@@ -18,7 +18,6 @@
 #define ANSMET_CPU_HOST_H
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -62,25 +61,26 @@ class HostCpu
     HostCpu(sim::EventQueue &eq, const HostParams &hp,
             const dram::TimingParams &tp, const dram::OrgParams &org);
 
+    /** Completion callback type; inline capture only (hot path). */
+    using Callback = sim::EventQueue::Callback;
+
     /** Busy-wait @p cycles of pure compute, then call @p done. */
-    void compute(std::uint64_t cycles, std::function<void()> done);
+    void compute(std::uint64_t cycles, Callback done);
 
     /**
      * Read @p lines consecutive 64 B lines starting at @p addr through
      * the cache hierarchy; @p done fires when the last line arrives.
      */
-    void read(Addr addr, unsigned lines, std::function<void()> done);
+    void read(Addr addr, unsigned lines, Callback done);
 
     /**
      * Issue an uncached 64 B write to channel @p channel (the NDP
      * instruction path: DDR WRITE to a reserved address).
      */
-    void writeUncached(unsigned channel, Addr addr,
-                       std::function<void()> done);
+    void writeUncached(unsigned channel, Addr addr, Callback done);
 
     /** Issue an uncached 64 B read (the NDP poll path). */
-    void readUncached(unsigned channel, Addr addr,
-                      std::function<void()> done);
+    void readUncached(unsigned channel, Addr addr, Callback done);
 
     /** Cycles to compute a distance over @p dims elements with SIMD. */
     std::uint64_t
@@ -110,11 +110,24 @@ class HostCpu
     MappedLine mapHostLine(std::uint64_t line) const;
 
   private:
+    /** In-flight multi-line read: join counter + completion. Pooled so
+     *  the per-read shared_ptr allocation is gone from the hot path. */
+    struct ReadOp
+    {
+        unsigned remaining = 0;
+        Callback done;
+    };
+
+    std::uint32_t allocReadOp(unsigned lines, Callback done);
+    void lineDone(std::uint32_t op);
+
     sim::EventQueue &eq_;
     HostParams hp_;
     dram::OrgParams org_;
     std::unique_ptr<cache::CacheHierarchy> caches_;
     std::vector<std::unique_ptr<dram::MemController>> channels_;
+    std::vector<ReadOp> read_pool_;
+    std::vector<std::uint32_t> read_free_;
     Tick compute_busy_ = 0;
 };
 

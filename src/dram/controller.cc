@@ -55,10 +55,22 @@ MemController::enqueue(unsigned rank, Request req)
 {
     ANSMET_CHECK(rank < ranks_.size(), "bad rank ", rank);
     req.arrival = eq_.now();
-    queue_.push_back(Pending{rank, std::move(req), next_order_++});
-    ++stats_.counter(queue_.back().req.isWrite ? "writes" : "reads");
+    std::uint32_t idx;
+    if (pend_free_.empty()) {
+        pend_pool_.emplace_back();
+        idx = static_cast<std::uint32_t>(pend_pool_.size() - 1);
+    } else {
+        idx = pend_free_.back();
+        pend_free_.pop_back();
+    }
+    Pending &p = pend_pool_[idx];
+    p.rank = rank;
+    p.req = std::move(req);
+    p.order = next_order_++;
+    queue_.push_back(idx);
+    ++stats_.counter(p.req.isWrite ? "writes" : "reads");
     DramMetrics &m = dramMetrics();
-    (queue_.back().req.isWrite ? m.writes : m.reads).inc();
+    (p.req.isWrite ? m.writes : m.reads).inc();
     m.queueDepth.sample(queue_.size());
     if (obs_enq_++ % kQueueSampleStride == 0) {
         auto &tw = obs::TraceWriter::instance();
@@ -125,12 +137,7 @@ MemController::issueFor(Pending &p, const Candidate &c, Tick t)
         stats_.scalar("queue_latency")
             .sample(static_cast<double>(t - p.req.arrival));
         dramMetrics().queueLatency.sample(t - p.req.arrival);
-        if (p.req.onComplete) {
-            auto cb = std::move(p.req.onComplete);
-            eq_.schedule(data_end, [cb = std::move(cb), data_end] {
-                cb(data_end);
-            });
-        }
+        scheduleCompletion(data_end, std::move(p.req.onComplete));
         break;
       }
       case Command::kRef:
@@ -170,14 +177,32 @@ MemController::serveBusTransfers(Tick now, Tick before)
         data_bus_free_at_ = data_end;
         data_bus_busy_ += tp_.cycles(tp_.tBL);
         cmd_bus_free_at_ = t + tp_.tCK;
-        auto cb = std::move(bus_queue_.front().cb);
+        Request::Callback cb = std::move(bus_queue_.front().cb);
         bus_queue_.pop_front();
-        if (cb) {
-            eq_.schedule(data_end,
-                         [cb = std::move(cb), data_end] { cb(data_end); });
-        }
+        scheduleCompletion(data_end, std::move(cb));
     }
     return false;
+}
+
+void
+MemController::scheduleCompletion(Tick when, Request::Callback cb)
+{
+    if (!cb)
+        return;
+    std::uint32_t idx;
+    if (done_free_.empty()) {
+        done_pool_.emplace_back();
+        idx = static_cast<std::uint32_t>(done_pool_.size() - 1);
+    } else {
+        idx = done_free_.back();
+        done_free_.pop_back();
+    }
+    done_pool_[idx] = std::move(cb);
+    eq_.schedule(when, [this, idx, when] {
+        Request::Callback done = std::move(done_pool_[idx]);
+        done_free_.push_back(idx);
+        done(when);
+    });
 }
 
 void
@@ -192,7 +217,7 @@ MemController::kick()
     // requests: a transfer goes first only if it is not younger than
     // the oldest queued bank request.
     const Tick oldest_bank =
-        queue_.empty() ? kMaxTick : queue_.front().req.arrival;
+        queue_.empty() ? kMaxTick : pend_pool_[queue_.front()].req.arrival;
     serveBusTransfers(now, oldest_bank);
 
     while (!queue_.empty()) {
@@ -206,25 +231,30 @@ MemController::kick()
         // unconditionally if it has been starving; otherwise prefer the
         // oldest ready row hit, then the oldest request's prep command.
         Pending *chosen = nullptr;
+        std::size_t chosen_qi = 0;
         Candidate chosen_cmd{};
         Tick soonest = kMaxTick;
 
         const bool starving =
-            now - queue_.front().req.arrival > starvation_limit_;
+            now - pend_pool_[queue_.front()].req.arrival >
+            starvation_limit_;
 
-        for (auto &p : queue_) {
-            if (starving && &p != &queue_.front())
+        for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+            if (starving && qi != 0)
                 continue;
+            Pending &p = pend_pool_[queue_[qi]];
             const Candidate c = nextCommand(p, tc);
             soonest = std::min(soonest, std::max(c.earliest, tc));
             if (c.earliest <= tc) {
                 if (c.isColumn) {
                     chosen = &p;
+                    chosen_qi = qi;
                     chosen_cmd = c;
                     break; // oldest ready column command wins
                 }
                 if (!chosen) {
                     chosen = &p;
+                    chosen_qi = qi;
                     chosen_cmd = c;
                 }
             }
@@ -246,13 +276,11 @@ MemController::kick()
         cmd_bus_free_at_ = tc + tp_.tCK;
 
         if (chosen_cmd.isColumn) {
-            // Retire the request.
-            for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-                if (&*it == chosen) {
-                    queue_.erase(it);
-                    break;
-                }
-            }
+            // Retire the request: recycle its pool node and drop its
+            // queue position (an index move, not a struct move).
+            pend_free_.push_back(queue_[chosen_qi]);
+            queue_.erase(queue_.begin() +
+                         static_cast<std::ptrdiff_t>(chosen_qi));
         }
     }
 

@@ -14,10 +14,10 @@
 #define ANSMET_DRAM_CONTROLLER_H
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
+#include "common/ring_deque.h"
 #include "common/stats.h"
 #include "dram/device.h"
 #include "dram/params.h"
@@ -81,8 +81,8 @@ class MemController
 
     struct BusTransfer
     {
-        bool isWrite;
-        Tick arrival;
+        bool isWrite = false;
+        Tick arrival = 0;
         Request::Callback cb;
     };
 
@@ -90,12 +90,26 @@ class MemController
      *  @return true if the caller should re-kick later (bus busy). */
     bool serveBusTransfers(Tick now, Tick before);
 
+    /**
+     * Fire @p cb at @p when through a pooled completion node: the
+     * callback itself is too large for an inline event capture by
+     * design, so it parks in done_pool_ and the event carries only the
+     * pool index. The pool reaches steady state after warmup — no
+     * per-completion allocation.
+     */
+    void scheduleCompletion(Tick when, Request::Callback cb);
+
     sim::EventQueue &eq_;
     TimingParams tp_;
     OrgParams org_;
     std::vector<std::unique_ptr<RankDevice>> ranks_;
-    std::deque<Pending> queue_;
-    std::deque<BusTransfer> bus_queue_;
+    /** Pending-node pool; queue_ holds pool indices in arrival order. */
+    std::vector<Pending> pend_pool_;
+    std::vector<std::uint32_t> pend_free_;
+    std::vector<std::uint32_t> queue_;
+    RingDeque<BusTransfer> bus_queue_;
+    std::vector<Request::Callback> done_pool_;
+    std::vector<std::uint32_t> done_free_;
     std::uint64_t next_order_ = 0;
 
     Tick cmd_bus_free_at_ = 0;

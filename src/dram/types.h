@@ -7,9 +7,9 @@
 #define ANSMET_DRAM_TYPES_H
 
 #include <cstdint>
-#include <functional>
 
 #include "common/types.h"
+#include "sim/inline_callback.h"
 
 namespace ansmet::dram {
 
@@ -43,7 +43,11 @@ struct BankAddr
 /** A 64 B memory request presented to a controller. */
 struct Request
 {
-    using Callback = std::function<void(Tick finish)>;
+    /** Completion callback; inline-only capture (move-only request).
+     *  The budget is deliberately below the event queue's 48-byte one:
+     *  a Request::Callback can never be re-captured inside an event
+     *  lambda, so completion state must be pooled, not nested. */
+    using Callback = sim::InlineFunction<void(Tick finish), 40>;
 
     BankAddr addr;
     bool isWrite = false;

@@ -21,14 +21,14 @@
 #define ANSMET_NDP_NDP_UNIT_H
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/ring_deque.h"
 #include "common/stats.h"
 #include "dram/controller.h"
 #include "sim/event_queue.h"
+#include "sim/inline_callback.h"
 
 namespace ansmet::ndp {
 
@@ -65,8 +65,9 @@ struct NdpTask
      * compute unit is unnecessary.
      */
     unsigned computeCyclesPerLine = 2;
-    /** Completion: the task's result is ready in the QSHR. */
-    std::function<void(Tick)> onComplete;
+    /** Completion: the task's result is ready in the QSHR. Inline-only
+     *  capture makes NdpTask move-only and allocation-free. */
+    sim::InlineFunction<void(Tick), 40> onComplete;
 };
 
 /** A rank plus its buffer-chip NDP logic. */
@@ -121,8 +122,8 @@ class NdpUnit
   private:
     struct QshrState
     {
-        std::deque<NdpTask> fifo;     //!< architectural slots (<= 8)
-        std::deque<NdpTask> staged;   //!< backpressured submissions
+        RingDeque<NdpTask> fifo;      //!< architectural slots (<= 8)
+        RingDeque<NdpTask> staged;    //!< backpressured submissions
         bool active = false;
         unsigned linesToIssue = 0;   //!< lines not yet sent to DRAM
         unsigned linesInFlight = 0;  //!< issued, data not yet consumed

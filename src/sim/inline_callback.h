@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Small-buffer callable for simulation hot paths.
+ *
+ * `InlineFunction<R(Args...), Capacity>` is a move-only replacement
+ * for `std::function` that stores its callable inside the object —
+ * never on the heap. The capacity is part of the type, and a
+ * static_assert fires *at the capture site* when a lambda outgrows it,
+ * so "this event allocates" becomes a compile error instead of a
+ * profiler finding. See DESIGN.md, "Hot-path allocation rules".
+ *
+ * Differences from std::function, all deliberate:
+ *  - move-only (copying a captured state bundle is never wanted on the
+ *    hot path; wrap in std::shared_ptr explicitly if it ever is);
+ *  - invoking an empty InlineFunction is undefined (callers check
+ *    `if (cb)` exactly as the codebase already does);
+ *  - the stored callable must be nothrow-move-constructible, because
+ *    relocation happens inside event-queue containers.
+ */
+
+#ifndef ANSMET_SIM_INLINE_CALLBACK_H
+#define ANSMET_SIM_INLINE_CALLBACK_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ansmet::sim {
+
+template <typename Signature, std::size_t Capacity>
+class InlineFunction; // primary template left undefined
+
+template <std::size_t Capacity, typename R, typename... Args>
+class InlineFunction<R(Args...), Capacity>
+{
+  public:
+    static constexpr std::size_t kCapacity = Capacity;
+
+    InlineFunction() = default;
+    InlineFunction(std::nullptr_t) {}
+
+    /** Wrap any callable; fails to compile if it exceeds Capacity. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= Capacity,
+                      "callback capture exceeds the inline budget for "
+                      "this site; shrink the capture (indices, not "
+                      "values) or pool the state");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned callback capture");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "callback captures must be nothrow-movable");
+        ::new (static_cast<void *>(storage_)) Fn(std::forward<F>(f));
+        invoke_ = [](void *s, Args... args) -> R {
+            return (*static_cast<Fn *>(s))(std::forward<Args>(args)...);
+        };
+        manage_ = [](void *dst, void *src) {
+            if (src != nullptr) {
+                // Relocate: move-construct into dst, destroy src.
+                ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+                static_cast<Fn *>(src)->~Fn();
+            } else {
+                static_cast<Fn *>(dst)->~Fn();
+            }
+        };
+    }
+
+    InlineFunction(InlineFunction &&o) noexcept { moveFrom(o); }
+
+    InlineFunction &
+    operator=(InlineFunction &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return invoke_(storage_, std::forward<Args>(args)...);
+    }
+
+  private:
+    void
+    reset()
+    {
+        if (invoke_ != nullptr) {
+            manage_(storage_, nullptr);
+            invoke_ = nullptr;
+            manage_ = nullptr;
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &o)
+    {
+        if (o.invoke_ != nullptr) {
+            o.manage_(storage_, o.storage_);
+            invoke_ = o.invoke_;
+            manage_ = o.manage_;
+            o.invoke_ = nullptr;
+            o.manage_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[Capacity];
+    R (*invoke_)(void *, Args...) = nullptr;
+    /** manage(dst, src): src != null relocates src into dst (move +
+     *  destroy source); src == null destroys dst. */
+    void (*manage_)(void *, void *) = nullptr;
+};
+
+} // namespace ansmet::sim
+
+#endif // ANSMET_SIM_INLINE_CALLBACK_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The pre-overhaul event queue, kept verbatim as an executable
+ * specification: a single `std::priority_queue` over (tick, priority,
+ * insertion-order) with `std::function` callbacks and lazy
+ * cancellation.
+ *
+ * Two consumers, neither of them the simulator:
+ *  - tests/test_event_queue.cc replays randomized schedules through
+ *    this queue and the production calendar queue side by side and
+ *    asserts identical execution order (the ordering-parity oracle);
+ *  - bench/macro_sim.cc runs the same synthetic workload through both
+ *    and reports the speedup, which CI gates with
+ *    `tools/bench_diff.py --speedup`.
+ *
+ * Do not "fix" or optimize this class; its value is being the simple,
+ * obviously-correct definition of the execution order.
+ */
+
+#ifndef ANSMET_SIM_REFERENCE_QUEUE_H
+#define ANSMET_SIM_REFERENCE_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace ansmet::sim {
+
+/** Heap-per-event reference implementation of the event queue. */
+class ReferenceEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+    using Priority = int;
+
+    Tick now() const { return now_; }
+
+    std::size_t pending() const { return heap_.size(); }
+
+    std::uint64_t
+    schedule(Tick when, Callback cb, Priority prio = 0)
+    {
+        ANSMET_CHECK(when >= now_, "scheduling in the past: ", when,
+                     " < ", now_);
+        const std::uint64_t id = next_id_++;
+        heap_.push(Entry{when, prio, id, std::move(cb)});
+        return id;
+    }
+
+    std::uint64_t
+    scheduleIn(Tick delta, Callback cb, Priority prio = 0)
+    {
+        return schedule(now_ + delta, std::move(cb), prio);
+    }
+
+    /** Cancel a pending event by handle (lazy deletion). */
+    void
+    deschedule(std::uint64_t id)
+    {
+        ANSMET_DCHECK(id < next_id_, "descheduling unknown handle ", id);
+        cancelled_.push_back(id);
+    }
+
+    void
+    run(Tick limit = kMaxTick)
+    {
+        while (!heap_.empty()) {
+            const Entry &top = heap_.top();
+            if (top.when > limit)
+                break;
+            if (isCancelled(top.id)) {
+                heap_.pop();
+                continue;
+            }
+            now_ = top.when;
+            Callback cb = std::move(top.cb);
+            heap_.pop();
+            cb();
+        }
+    }
+
+    bool
+    step()
+    {
+        while (!heap_.empty() && isCancelled(heap_.top().id))
+            heap_.pop();
+        if (heap_.empty())
+            return false;
+        const Entry &top = heap_.top();
+        now_ = top.when;
+        Callback cb = std::move(top.cb);
+        heap_.pop();
+        cb();
+        return true;
+    }
+
+    void
+    reset()
+    {
+        heap_ = {};
+        cancelled_.clear();
+        now_ = 0;
+        next_id_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        Priority prio;
+        std::uint64_t id;
+        mutable Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return id > o.id;
+        }
+    };
+
+    bool
+    isCancelled(std::uint64_t id)
+    {
+        for (auto it = cancelled_.begin(); it != cancelled_.end(); ++it) {
+            if (*it == id) {
+                cancelled_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::vector<std::uint64_t> cancelled_;
+    Tick now_ = 0;
+    std::uint64_t next_id_ = 0;
+};
+
+} // namespace ansmet::sim
+
+#endif // ANSMET_SIM_REFERENCE_QUEUE_H

@@ -1,17 +1,22 @@
 /**
  * @file
  * Dedicated event-queue tests: same-timestamp tie-break determinism,
- * the ordering invariants added by the audit layer, cancellation, and
- * the Clocked cycle<->tick helpers.
+ * the ordering invariants added by the audit layer, cancellation, the
+ * Clocked cycle<->tick helpers, randomized ordering parity between the
+ * calendar queue and the reference heap queue, calendar-tier crossing
+ * cases, deschedule stress, and the InlineFunction callback type.
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/prng.h"
 #include "sim/event_queue.h"
+#include "sim/reference_queue.h"
 
 namespace ansmet::sim {
 namespace {
@@ -129,6 +134,225 @@ TEST(EventQueue, RunHonorsLimit)
     EXPECT_EQ(eq.pending(), 1u);
     eq.run();
     EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, OverflowTierCrossingsExecuteInOrder)
+{
+    // Events several horizons out sit in the overflow heap and must
+    // migrate into the calendar (and execute in order) as the current
+    // day repeatedly jumps past the ring's reach.
+    EventQueue eq;
+    std::vector<int> seen;
+    for (const int i : {4, 1, 5, 2, 3}) {
+        eq.schedule(static_cast<Tick>(i) * (EventQueue::kHorizonTicks + 7),
+                    [&seen, i] { seen.push_back(i); });
+    }
+    eq.run();
+    EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(eq.now(), 5 * (EventQueue::kHorizonTicks + 7));
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, FarFutureSameTickTiesKeepPriorityAndInsertionOrder)
+{
+    // Three events land on one far-future tick via different routes:
+    // two through the overflow tier at schedule time, one through the
+    // ring after the calendar has advanced. (tick, prio, insertion)
+    // order must hold regardless of the tier each traversed.
+    EventQueue eq;
+    std::string order;
+    const Tick far = 2 * EventQueue::kHorizonTicks + 12345;
+    eq.schedule(far, [&order] { order += 'a'; });
+    eq.schedule(EventQueue::kHorizonTicks + 5, [&eq, &order, far] {
+        order += 'x';
+        eq.schedule(far, [&order] { order += 'c'; }, 1);
+    });
+    eq.schedule(far, [&order] { order += 'b'; });
+    eq.run();
+    EXPECT_EQ(order, "xabc");
+}
+
+TEST(EventQueue, DescheduleStressReleasesPendingImmediately)
+{
+    // Regression for the pre-overhaul queue, whose cancelled list grew
+    // without bound until the victim reached the heap top: descheduling
+    // must shrink pending() right away and release the slots.
+    EventQueue eq;
+    constexpr std::size_t kN = 200000;
+    std::size_t executed = 0;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        ids.push_back(eq.schedule(1 + (i % 1000) * 100,
+                                  [&executed] { ++executed; }));
+    }
+    ASSERT_EQ(eq.pending(), kN);
+    for (std::size_t i = 0; i < kN; i += 2)
+        eq.deschedule(ids[i]);
+    EXPECT_EQ(eq.pending(), kN / 2);
+    eq.run();
+    EXPECT_EQ(executed, kN / 2);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, DoubleDescheduleCountsOnce)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(1, [&ran] { ran = true; });
+    const auto id = eq.schedule(2, [] {});
+    eq.deschedule(id);
+    eq.deschedule(id); // second cancel of the same handle: no-op
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, StaleHandleAfterExecutionIsANoOp)
+{
+    EventQueue eq;
+    const auto stale = eq.schedule(1, [] {});
+    eq.run();
+    // The next schedule reuses the released slot; the old handle's
+    // generation no longer matches and must not cancel it.
+    bool ran = false;
+    eq.schedule(2, [&ran] { ran = true; });
+    eq.deschedule(stale);
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+/**
+ * Random schedule driver usable with both queue implementations.
+ * Every draw happens inside the executed callbacks, so as long as the
+ * two queues execute in the same order they make identical decisions —
+ * and any ordering divergence shows up as differing logs.
+ */
+template <class Queue>
+struct ParityDriver
+{
+    Queue q;
+    Prng rng;
+    std::vector<unsigned> log;
+    std::vector<std::uint64_t> handles;
+    unsigned scheduled = 0;
+    unsigned budget;
+
+    ParityDriver(std::uint64_t seed, unsigned budget)
+        : rng(seed), budget(budget)
+    {
+    }
+
+    Tick
+    draw()
+    {
+        switch (rng.below(4)) {
+          case 0:
+            return rng.below(4); // same-tick collisions
+          case 1:
+            return rng.below(2000); // current/next day
+          case 2:
+            return rng.below(100000); // calendar ring
+          default: // overflow tier
+            return EventQueue::kHorizonTicks + rng.below(1u << 20);
+        }
+    }
+
+    void
+    spawn()
+    {
+        const unsigned label = scheduled++;
+        const Tick delta = draw();
+        const int prio = static_cast<int>(rng.below(3)) - 1;
+        handles.push_back(q.scheduleIn(
+            delta, [this, label] { fire(label); }, prio));
+    }
+
+    void
+    fire(unsigned label)
+    {
+        log.push_back(label);
+        if (scheduled < budget) {
+            spawn();
+            if (rng.below(2) != 0 && scheduled < budget)
+                spawn();
+        }
+        // Cancel a random earlier event: executed handles are benign
+        // no-ops in both implementations.
+        if (!handles.empty() && rng.below(4) == 0)
+            q.deschedule(handles[rng.below(handles.size())]);
+    }
+
+    void
+    run()
+    {
+        for (int i = 0; i < 16; ++i)
+            spawn();
+        q.run();
+    }
+};
+
+TEST(EventQueue, OrderingParityWithReferenceQueue)
+{
+    // The calendar queue must execute randomized schedules in exactly
+    // the order of the executable spec (sim/reference_queue.h),
+    // including same-tick priority/insertion ties, mid-run cancels,
+    // and overflow-tier crossings.
+    for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+        ParityDriver<EventQueue> opt(seed, 4000);
+        ParityDriver<ReferenceEventQueue> ref(seed, 4000);
+        opt.run();
+        ref.run();
+        ASSERT_EQ(opt.log.size(), ref.log.size()) << "seed " << seed;
+        EXPECT_EQ(opt.log, ref.log) << "seed " << seed;
+        EXPECT_EQ(opt.q.now(), ref.q.now()) << "seed " << seed;
+        EXPECT_EQ(opt.q.pending(), 0u);
+    }
+}
+
+TEST(InlineFunction, InvokesAndReportsEngagement)
+{
+    InlineFunction<int(int), 16> f;
+    EXPECT_FALSE(static_cast<bool>(f));
+    int base = 40;
+    f = [&base](int x) { return base + x; };
+    ASSERT_TRUE(static_cast<bool>(f));
+    EXPECT_EQ(f(2), 42);
+    f = nullptr;
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, MoveTransfersCallableAndEmptiesSource)
+{
+    int calls = 0;
+    InlineFunction<void(), 16> a = [&calls] { ++calls; };
+    InlineFunction<void(), 16> b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(calls, 1);
+    a = std::move(b); // move-assign back over the empty one
+    EXPECT_FALSE(static_cast<bool>(b));
+    a();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunction, DestroysCaptureExactlyOnce)
+{
+    // A shared_ptr capture counts destructions for us: after move
+    // chains and reset, the use count must drop back to 1.
+    auto token = std::make_shared<int>(7);
+    {
+        InlineFunction<int(), 32> f = [token] { return *token; };
+        EXPECT_EQ(token.use_count(), 2);
+        InlineFunction<int(), 32> g = std::move(f);
+        EXPECT_EQ(token.use_count(), 2); // relocated, not duplicated
+        EXPECT_EQ(g(), 7);
+        g = nullptr;
+        EXPECT_EQ(token.use_count(), 1);
+    }
+    EXPECT_EQ(token.use_count(), 1);
 }
 
 TEST(Clocked, ConversionsAndEdges)

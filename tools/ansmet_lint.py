@@ -25,6 +25,14 @@ conventions that neither the compiler nor clang-tidy checks:
                            over them) outside src/common/sync.h — the
                            annotated wrappers are mandatory so Clang's
                            thread-safety analysis sees every lock.
+  R5  ansmet-eventcapture  No std::function inside the arguments of a
+                           schedule()/scheduleIn() call in the
+                           simulator-hot directories (src/sim, src/ndp,
+                           src/dram, src/cpu, src/core, src/cache):
+                           event callbacks are sim::EventQueue::Callback
+                           (an InlineFunction with a compile-enforced
+                           capture budget); std::function would put its
+                           capture back on the heap per event.
 
 Suppression: a finding is waived by `// NOLINT(<rule>): reason` on the
 same line or `// NOLINTNEXTLINE(<rule>): reason` on the line above,
@@ -90,11 +98,18 @@ BANNED_SYNC = {
 }
 SYNC_EXEMPT_SUFFIX = os.path.join("src", "common", "sync.h")
 
+# R5: directories whose schedule()/scheduleIn() calls are hot enough
+# that a std::function argument (heap-allocating capture) is a bug.
+SIM_HOT_DIRS = ("src/sim", "src/ndp", "src/dram", "src/cpu", "src/core",
+                "src/cache")
+SCHEDULE_CALLS = ("schedule", "scheduleIn")
+
 RULES = {
     "R1": "ansmet-determinism",
     "R2": "ansmet-rawnew",
     "R3": "ansmet-nolint",
     "R4": "ansmet-rawsync",
+    "R5": "ansmet-eventcapture",
 }
 
 NOLINT_RE = re.compile(
@@ -423,6 +438,42 @@ def check_raw_sync(path, tokens, waived, findings):
             f"the contract"))
 
 
+def check_event_capture(path, tokens, waived, findings):
+    if not path_in(path, SIM_HOT_DIRS):
+        return
+    code = [t for t in tokens if t.kind in ("id", "kw", "punct")]
+    n = len(code)
+    for idx, tok in enumerate(code):
+        if tok.kind != "id" or tok.spelling not in SCHEDULE_CALLS:
+            continue
+        if idx + 1 >= n or code[idx + 1].spelling != "(":
+            continue
+        # Walk the balanced argument list of the call; any qualified
+        # `std :: function` token run inside it is a finding.
+        depth = 0
+        j = idx + 1
+        while j < n:
+            s = code[j].spelling
+            if s == "(":
+                depth += 1
+            elif s == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif (s == "function" and code[j].kind == "id" and j >= 3 and
+                  code[j - 1].spelling == ":" and
+                  code[j - 2].spelling == ":" and
+                  code[j - 3].spelling == "std"):
+                if not is_waived(waived, RULES["R5"], code[j].line):
+                    findings.append(Finding(
+                        path, code[j].line, "R5",
+                        "std::function inside a schedule()/scheduleIn() "
+                        "argument: event callbacks are inline "
+                        "(sim::EventQueue::Callback); a std::function "
+                        "capture heap-allocates on the hot path"))
+            j += 1
+
+
 def lint_file(path, repo_root, tokens):
     rel = os.path.relpath(path, repo_root)
     findings = []
@@ -431,6 +482,7 @@ def lint_file(path, repo_root, tokens):
     check_raw_new_delete(rel, tokens, waived, findings)
     check_nolint_justified(rel, tokens, findings)
     check_raw_sync(rel, tokens, waived, findings)
+    check_event_capture(rel, tokens, waived, findings)
     return findings
 
 
@@ -459,7 +511,7 @@ def collect_files(repo_root, paths):
 
 def main(argv=None):
     ap = argparse.ArgumentParser(
-        description="ANSMET determinism/style linter (rules R1-R4)")
+        description="ANSMET determinism/style linter (rules R1-R5)")
     ap.add_argument("paths", nargs="*",
                     help="files or directories (default: <repo>/src)")
     ap.add_argument("--repo", default=None,
@@ -497,7 +549,7 @@ def main(argv=None):
                 return 0
             print("ansmet_lint: libclang python bindings not found; "
                   "falling back to the built-in lexer (findings are "
-                  "identical for rules R1-R4)", file=sys.stderr)
+                  "identical for rules R1-R5)", file=sys.stderr)
 
     files = collect_files(repo_root, args.paths)
     if not files:

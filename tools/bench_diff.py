@@ -11,17 +11,19 @@ Three modes, stdlib only:
     any shared benchmark regressed by more than --threshold percent
     (default: report only, never fail).
 
-  Speedup mode -- compare SIMD tiers against scalar within one run:
+  Speedup mode -- compare tiers against their baseline within one run:
 
       tools/bench_diff.py --speedup BENCH_kernels.json \
           [--min-ratio R --require NAME]...
 
-    Kernel benchmarks are named  <family>/<tier>  with tier one of
-    scalar | avx2 | avx512 (e.g. kernel_l2_batch/fp32/avx2). For every
-    SIMD entry whose scalar sibling exists, prints the speedup ratio
-    scalar_time / simd_time. Each --require NAME (full benchmark name)
-    must be present and meet --min-ratio, otherwise exit 1 -- this is
-    the CI perf-smoke assertion.
+    Tiered benchmarks are named  <family>/<tier>. Two tier groups:
+    SIMD kernels use scalar | avx2 | avx512 (baseline: scalar, e.g.
+    kernel_l2_batch/fp32/avx2), and simulator macro-benchmarks use
+    ref | opt (baseline: ref, e.g. sim_queue/replay/opt). For every
+    non-baseline entry whose baseline sibling exists, prints the ratio
+    baseline_time / tier_time. Each --require NAME (full benchmark
+    name) must be present and meet --min-ratio, otherwise exit 1 --
+    this is the CI perf-smoke assertion.
 
   Figures mode -- assert two reproduced figure texts are identical:
 
@@ -40,7 +42,11 @@ import difflib
 import json
 import sys
 
-TIERS = ("scalar", "avx2", "avx512")
+TIERS = ("scalar", "avx2", "avx512", "ref", "opt")
+
+# Tiers that serve as the denominator of a speedup ratio; a measured
+# entry's baseline sibling is looked up in this order.
+BASELINE_TIERS = ("scalar", "ref")
 
 
 class InputError(Exception):
@@ -133,20 +139,21 @@ def run_speedup(args):
     ratios = {}
     for name, t in sorted(times.items()):
         parts = split_tier(name)
-        if parts is None or parts[1] == "scalar":
+        if parts is None or parts[1] in BASELINE_TIERS:
             continue
         family, tier = parts
-        scalar_name = f"{family}/scalar"
-        if scalar_name not in times or t <= 0.0:
+        base_time = next((times[f"{family}/{b}"] for b in BASELINE_TIERS
+                          if f"{family}/{b}" in times), None)
+        if base_time is None or t <= 0.0:
             continue
-        ratios[name] = times[scalar_name] / t
+        ratios[name] = base_time / t
 
     if not ratios:
         print("no tiered kernel benchmarks found", file=sys.stderr)
         return 1
 
     width = max(len(n) for n in ratios)
-    print(f"{'benchmark':<{width}}  speedup vs scalar")
+    print(f"{'benchmark':<{width}}  speedup vs baseline")
     for name, r in sorted(ratios.items()):
         print(f"{name:<{width}}  {r:6.2f}x")
 

@@ -2,7 +2,7 @@
 """Unit tests for tools/ansmet_lint.py (stdlib unittest only).
 
 Run directly:  python3 tools/test_ansmet_lint.py
-Each rule R1-R4 gets a triggering fixture and a passing fixture, plus
+Each rule R1-R5 gets a triggering fixture and a passing fixture, plus
 tests for the NOLINT suppression mechanics, the forced-libclang skip
 path, and a clean run over the real tree.
 """
@@ -216,6 +216,64 @@ class R4RawSyncTest(LintRunMixin, unittest.TestCase):
         self.assertEqual(code, 0)
 
 
+class R5EventCaptureTest(LintRunMixin, unittest.TestCase):
+    def test_std_function_in_schedule_arg_flags(self):
+        p = self.write(
+            "src/dram/ctrl.cc",
+            "#include <functional>\n"
+            "void f(Q &q) {\n"
+            "    std::function<void()> cb = [] {};\n"
+            "    q.scheduleIn(10, std::function<void()>(cb));\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-eventcapture", out)
+        self.assertIn("ctrl.cc:4:", out)
+        # The declaration outside the call must not be flagged.
+        self.assertNotIn("ctrl.cc:3:", out)
+
+    def test_inline_callback_lambda_passes(self):
+        p = self.write(
+            "src/ndp/unit.cc",
+            "void f(Q &q, int idx) {\n"
+            "    q.scheduleIn(10, [idx] { fire(idx); });\n"
+            "    q.schedule(99, [] {}, 1);\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_std_function_outside_schedule_call_passes(self):
+        # A std::function member elsewhere in a hot dir is R5-clean
+        # (the rule only polices schedule()/scheduleIn() arguments).
+        p = self.write(
+            "src/sim/hooks.h",
+            "#include <functional>\n"
+            "struct Hooks { std::function<void()> onDrain; };\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_non_hot_dir_is_exempt(self):
+        p = self.write(
+            "src/anns/replay.cc",
+            "#include <functional>\n"
+            "void f(Q &q, std::function<void()> cb) {\n"
+            "    q.scheduleIn(10, std::function<void()>(cb));\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_waiver_with_justification_passes(self):
+        p = self.write(
+            "src/cpu/host.cc",
+            "void f(Q &q, std::function<void()> cb) {\n"
+            "    // NOLINTNEXTLINE(ansmet-eventcapture): cold "
+            "init-time path.\n"
+            "    q.schedule(0, std::function<void()>(cb));\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
 class SuppressionMechanicsTest(LintRunMixin, unittest.TestCase):
     def test_same_line_nolint_waives_only_that_line(self):
         p = self.write(
@@ -283,7 +341,8 @@ class EngineAndDriverTest(LintRunMixin, unittest.TestCase):
             code = ansmet_lint.main(["--list-rules"])
         self.assertEqual(code, 0)
         for name in ("ansmet-determinism", "ansmet-rawnew",
-                     "ansmet-nolint", "ansmet-rawsync"):
+                     "ansmet-nolint", "ansmet-rawsync",
+                     "ansmet-eventcapture"):
             self.assertIn(name, out.getvalue())
 
 
