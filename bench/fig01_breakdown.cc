@@ -31,13 +31,14 @@ hnswBreakdown(const core::ExperimentContext &ctx)
 {
     const auto rs = ctx.runDesign(core::Design::kCpuBase);
     const auto t = rs.totals();
-    const double dist = static_cast<double>(t.distComp);
+    const double dist = static_cast<double>(t.distComp.raw());
     const double lines_total =
         static_cast<double>(t.linesEffectual + t.linesIneffectual);
     const double acc_frac =
         lines_total > 0 ? t.linesEffectual / lines_total : 0.0;
-    const double total = static_cast<double>(t.traversal) + dist;
-    return {t.traversal / total, dist * acc_frac / total,
+    const double traversal = static_cast<double>(t.traversal.raw());
+    const double total = traversal + dist;
+    return {traversal / total, dist * acc_frac / total,
             dist * (1.0 - acc_frac) / total};
 }
 
@@ -69,13 +70,14 @@ ivfBreakdown(const core::ExperimentContext &ctx)
     core::SystemModel model(cfg, *ds.base, ds.metric(), &ctx.profile());
     const auto rs = model.run(traces);
     const auto t = rs.totals();
-    const double dist = static_cast<double>(t.distComp);
+    const double dist = static_cast<double>(t.distComp.raw());
     const double lines_total =
         static_cast<double>(t.linesEffectual + t.linesIneffectual);
     const double acc_frac =
         lines_total > 0 ? t.linesEffectual / lines_total : 0.0;
-    const double total = static_cast<double>(t.traversal) + dist;
-    return {t.traversal / total, dist * acc_frac / total,
+    const double traversal = static_cast<double>(t.traversal.raw());
+    const double total = traversal + dist;
+    return {traversal / total, dist * acc_frac / total,
             dist * (1.0 - acc_frac) / total};
 }
 

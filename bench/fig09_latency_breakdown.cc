@@ -60,7 +60,8 @@ main()
         if (std::string(c.name) == "NDP-Base") {
             const auto &t = rows.back().tot;
             ndp_base_latency = static_cast<double>(
-                t.traversal + t.offload + t.distComp + t.collect);
+                (t.traversal + t.offload + t.distComp + t.collect)
+                    .raw());
         }
     }
 
@@ -70,13 +71,22 @@ main()
     for (const auto &r : rows) {
         const auto &tot = r.tot;
         const double total = static_cast<double>(
-            tot.traversal + tot.offload + tot.distComp + tot.collect);
+            (tot.traversal + tot.offload + tot.distComp + tot.collect)
+                .raw());
         t.row()
             .cell(r.name)
-            .cell(tot.traversal / ndp_base_latency, 3)
-            .cell(tot.offload / ndp_base_latency, 3)
-            .cell(tot.distComp / ndp_base_latency, 3)
-            .cell(tot.collect / ndp_base_latency, 3)
+            .cell(static_cast<double>(tot.traversal.raw()) /
+                      ndp_base_latency,
+                  3)
+            .cell(static_cast<double>(tot.offload.raw()) /
+                      ndp_base_latency,
+                  3)
+            .cell(static_cast<double>(tot.distComp.raw()) /
+                      ndp_base_latency,
+                  3)
+            .cell(static_cast<double>(tot.collect.raw()) /
+                      ndp_base_latency,
+                  3)
             .cell(total / ndp_base_latency, 3)
             .cell(tot.polls / r.queries, 1);
     }

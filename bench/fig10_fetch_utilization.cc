@@ -53,7 +53,7 @@ main()
                 static_cast<double>(tot.backupLines);
             const double lines_total =
                 lines_eff + lines_ineff + lines_backup;
-            const double time = static_cast<double>(tot.distComp);
+            const double time = static_cast<double>(tot.distComp.raw());
             if (d == core::Design::kNdpBase) {
                 base_total = lines_total;
                 base_time = time;

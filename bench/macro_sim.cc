@@ -55,7 +55,7 @@ using namespace ansmet;
  * scale into it (multiply-shift; keeps the workload's own cost small
  * so the measured time is the queue, not the generator).
  */
-Tick
+TickDelta
 drawDelta(std::uint64_t r)
 {
     const std::uint64_t sel = r & 127;
@@ -65,13 +65,14 @@ drawDelta(std::uint64_t r)
             (static_cast<__uint128_t>(mag) * range) >> 57);
     };
     if (sel < 90)
-        return 100 + scale(4900); // tCK..row-cycle scale (~70%)
+        return TickDelta{100 + scale(4900)}; // tCK..row-cycle (~70%)
     if (sel < 122)
-        return 5'000 + scale(95'000); // queue/refresh scale (~25%)
+        return TickDelta{5'000 + scale(95'000)}; // queue/refresh (~25%)
     if (sel < 127)
-        return 200'000 + scale(1'800'000); // starvation scale
+        return TickDelta{200'000 + scale(1'800'000)}; // starvation scale
     // Past the calendar horizon: lands in the overflow heap.
-    return sim::EventQueue::kHorizonTicks + 1 + scale(20'000'000);
+    return sim::EventQueue::kHorizonTicks +
+           TickDelta{1 + scale(20'000'000)};
 }
 
 /**
@@ -165,7 +166,7 @@ BM_Cancel(benchmark::State &state)
         std::vector<std::uint64_t> handles;
         handles.reserve(kOps);
         for (std::uint64_t i = 0; i < kOps; ++i) {
-            handles.push_back(q.schedule(1 + rng.below(1'000'000),
+            handles.push_back(q.schedule(Tick{1 + rng.below(1'000'000)},
                                          [&executed] { ++executed; }));
             if (i & 1)
                 q.deschedule(handles[i - 1]);

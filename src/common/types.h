@@ -11,11 +11,197 @@
 
 namespace ansmet {
 
-/** Simulation time in picoseconds. */
-using Tick = std::uint64_t;
+/**
+ * A span of simulated time in picoseconds.
+ *
+ * TickDelta is the *linear* half of the unit model: deltas add,
+ * subtract, and scale by dimensionless counts (cycles, lines, ...).
+ * Construction from a raw integer is explicit so a byte count or a
+ * queue depth can never silently become a duration.
+ */
+class TickDelta
+{
+  public:
+    constexpr TickDelta() = default;
+    constexpr explicit TickDelta(std::uint64_t ps) : ps_(ps) {}
+
+    /** Escape hatch: the raw picosecond count, for printing/stats. */
+    constexpr std::uint64_t raw() const { return ps_; }
+
+    constexpr TickDelta &operator+=(TickDelta o)
+    {
+        ps_ += o.ps_;
+        return *this;
+    }
+    constexpr TickDelta &operator-=(TickDelta o)
+    {
+        ps_ -= o.ps_;
+        return *this;
+    }
+
+    friend constexpr TickDelta operator+(TickDelta a, TickDelta b)
+    {
+        return TickDelta{a.ps_ + b.ps_};
+    }
+    friend constexpr TickDelta operator-(TickDelta a, TickDelta b)
+    {
+        return TickDelta{a.ps_ - b.ps_};
+    }
+    friend constexpr TickDelta operator*(TickDelta d, std::uint64_t n)
+    {
+        return TickDelta{d.ps_ * n};
+    }
+    friend constexpr TickDelta operator*(std::uint64_t n, TickDelta d)
+    {
+        return TickDelta{n * d.ps_};
+    }
+    friend constexpr TickDelta operator/(TickDelta d, std::uint64_t n)
+    {
+        return TickDelta{d.ps_ / n};
+    }
+    /** Ratio of two spans is a dimensionless count. */
+    friend constexpr std::uint64_t operator/(TickDelta a, TickDelta b)
+    {
+        return a.ps_ / b.ps_;
+    }
+    friend constexpr TickDelta operator%(TickDelta a, TickDelta b)
+    {
+        return TickDelta{a.ps_ % b.ps_};
+    }
+
+    friend constexpr bool operator==(TickDelta a, TickDelta b)
+    {
+        return a.ps_ == b.ps_;
+    }
+    friend constexpr bool operator!=(TickDelta a, TickDelta b)
+    {
+        return a.ps_ != b.ps_;
+    }
+    friend constexpr bool operator<(TickDelta a, TickDelta b)
+    {
+        return a.ps_ < b.ps_;
+    }
+    friend constexpr bool operator<=(TickDelta a, TickDelta b)
+    {
+        return a.ps_ <= b.ps_;
+    }
+    friend constexpr bool operator>(TickDelta a, TickDelta b)
+    {
+        return a.ps_ > b.ps_;
+    }
+    friend constexpr bool operator>=(TickDelta a, TickDelta b)
+    {
+        return a.ps_ >= b.ps_;
+    }
+
+  private:
+    std::uint64_t ps_ = 0;
+};
+
+/**
+ * An absolute point on the simulated picosecond timeline.
+ *
+ * Tick is the *affine* half of the unit model: points do not add
+ * (deleted below), only `Tick + TickDelta -> Tick` and
+ * `Tick - Tick -> TickDelta` are unit-sound. Construction from a raw
+ * integer is explicit; `.raw()` is the audited escape hatch for
+ * printing, histograms, and bucket math.
+ */
+class Tick
+{
+  public:
+    constexpr Tick() = default;
+    constexpr explicit Tick(std::uint64_t ps) : ps_(ps) {}
+
+    /** Escape hatch: the raw picosecond count, for printing/stats. */
+    constexpr std::uint64_t raw() const { return ps_; }
+
+    constexpr Tick &operator+=(TickDelta d)
+    {
+        ps_ += d.raw();
+        return *this;
+    }
+    constexpr Tick &operator-=(TickDelta d)
+    {
+        ps_ -= d.raw();
+        return *this;
+    }
+
+    friend constexpr Tick operator+(Tick t, TickDelta d)
+    {
+        return Tick{t.ps_ + d.raw()};
+    }
+    friend constexpr Tick operator+(TickDelta d, Tick t)
+    {
+        return Tick{d.raw() + t.ps_};
+    }
+    friend constexpr Tick operator-(Tick t, TickDelta d)
+    {
+        return Tick{t.ps_ - d.raw()};
+    }
+    friend constexpr TickDelta operator-(Tick a, Tick b)
+    {
+        return TickDelta{a.ps_ - b.ps_};
+    }
+
+    friend constexpr bool operator==(Tick a, Tick b)
+    {
+        return a.ps_ == b.ps_;
+    }
+    friend constexpr bool operator!=(Tick a, Tick b)
+    {
+        return a.ps_ != b.ps_;
+    }
+    friend constexpr bool operator<(Tick a, Tick b)
+    {
+        return a.ps_ < b.ps_;
+    }
+    friend constexpr bool operator<=(Tick a, Tick b)
+    {
+        return a.ps_ <= b.ps_;
+    }
+    friend constexpr bool operator>(Tick a, Tick b)
+    {
+        return a.ps_ > b.ps_;
+    }
+    friend constexpr bool operator>=(Tick a, Tick b)
+    {
+        return a.ps_ >= b.ps_;
+    }
+
+    // Unit-unsound operations. Deleted (not just absent) so the
+    // compiler names the violated contract in its diagnostic.
+    friend Tick operator+(Tick, Tick) = delete;
+    friend Tick operator*(Tick, Tick) = delete;
+    friend Tick operator*(Tick, std::uint64_t) = delete;
+    friend Tick operator*(std::uint64_t, Tick) = delete;
+    friend Tick operator/(Tick, Tick) = delete;
+    friend Tick operator/(Tick, std::uint64_t) = delete;
+
+  private:
+    std::uint64_t ps_ = 0;
+};
+
+/** Stream a Tick as its raw picosecond count (logging, gtest). */
+template <typename Stream>
+Stream &
+operator<<(Stream &os, Tick t)
+{
+    os << t.raw();
+    return os;
+}
+
+/** Stream a TickDelta as its raw picosecond count. */
+template <typename Stream>
+Stream &
+operator<<(Stream &os, TickDelta d)
+{
+    os << d.raw();
+    return os;
+}
 
 /** A value no event can be scheduled at. */
-constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+constexpr Tick kMaxTick{std::numeric_limits<std::uint64_t>::max()};
 
 /** Physical byte address inside the simulated memory system. */
 using Addr = std::uint64_t;
@@ -26,17 +212,24 @@ using VectorId = std::uint32_t;
 constexpr VectorId kInvalidVector = std::numeric_limits<VectorId>::max();
 
 /** Picoseconds per nanosecond, for readability at call sites. */
-constexpr Tick kTicksPerNs = 1000;
+constexpr TickDelta kTicksPerNs{1000};
 
 /** Convert a frequency in GHz to the clock period in ticks (ps). */
-constexpr Tick
+constexpr TickDelta
 periodFromGHz(double ghz)
 {
-    return static_cast<Tick>(1000.0 / ghz);
+    return TickDelta{static_cast<std::uint64_t>(1000.0 / ghz)};
 }
 
 /** Size of one DRAM burst / cacheline in bytes throughout the system. */
 constexpr std::uint32_t kLineBytes = 64;
+
+// The unit types are owned by the simulator core; re-export them so
+// call sites can say sim::Tick / sim::TickDelta explicitly.
+namespace sim {
+using ansmet::Tick;
+using ansmet::TickDelta;
+} // namespace sim
 
 } // namespace ansmet
 

@@ -367,7 +367,7 @@ class SystemModel::QueryContext
     {
         if (sys_.cfg_.polling.mode == ndp::PollingMode::kIdeal)
             return;
-        Tick first;
+        TickDelta first;
         if (sys_.cfg_.polling.mode == ndp::PollingMode::kConventional) {
             first = sys_.cfg_.polling.conventionalInterval;
         } else {
@@ -376,7 +376,8 @@ class SystemModel::QueryContext
                               std::max(1u, max_tasks_per_unit_))
                         : sys_.cfg_.polling.conventionalInterval;
         }
-        sys_.eq_.scheduleIn(std::max<Tick>(first, 1), [this] { poll(); });
+        sys_.eq_.scheduleIn(std::max(first, TickDelta{1}),
+                            [this] { poll(); });
     }
 
     void
@@ -409,7 +410,7 @@ class SystemModel::QueryContext
                         units_in_step_.size()) {
                         collected();
                     } else {
-                        const Tick backoff =
+                        const TickDelta backoff =
                             sys_.cfg_.polling.mode ==
                                     ndp::PollingMode::kConventional
                                 ? sys_.cfg_.polling.conventionalInterval
@@ -507,7 +508,8 @@ class SystemModel::QueryContext
         stats_.end = sys_.eq_.now();
         ReplayMetrics &m = replayMetrics();
         m.queries.inc();
-        m.queryLatency.sample(stats_.end - stats_.start);
+        m.queryLatency.sample(
+            static_cast<double>((stats_.end - stats_.start).raw()));
         auto &tw = obs::TraceWriter::instance();
         if (tw.enabled()) {
             const obs::TraceArg args[] = {
@@ -537,10 +539,10 @@ class SystemModel::QueryContext
     std::size_t fetch_cursor_ = 0;
     QueryStats stats_;
 
-    Tick step_start_ = 0;
-    Tick offload_start_ = 0;
-    Tick offload_done_ = 0;
-    Tick last_task_done_ = 0;
+    Tick step_start_{};
+    Tick offload_start_{};
+    Tick offload_done_{};
+    Tick last_task_done_{};
 
     unsigned pending_sub_ = 0;
     unsigned pending_writes_ = 0;
@@ -613,10 +615,10 @@ SystemModel::SystemModel(const SystemConfig &cfg, const anns::VectorSet &vs,
         // trip divided by d, plus a pipeline-fill fixed cost.
         const unsigned rt =
             cfg.timing.tRCD + cfg.timing.tCL + cfg.timing.tBL;
-        const Tick per_line = cfg.timing.cycles(
+        const TickDelta per_line = cfg.timing.cycles(
             std::max(cfg.timing.tBL,
                      rt / std::max(1u, cfg.ndpParams.fetchPipelineDepth)));
-        const Tick fixed =
+        const TickDelta fixed =
             cfg.timing.cycles(rt) + 4 * cfg.ndpParams.period();
         const et::EtScheme scheme = schemeOf(cfg.design);
         const bool uses_et = scheme != et::EtScheme::kNone &&
@@ -778,7 +780,7 @@ SystemModel::run(const std::vector<QueryTrace> &traces)
     }
     eq_.run();
 
-    rs.makespan = eq_.now();
+    rs.makespan = eq_.now() - Tick{};
     rs.loadImbalance = loads_ ? loads_->imbalanceRatio() : 1.0;
     rs.energy = collectEnergy(rs);
     run_stats_ = nullptr;
@@ -789,7 +791,7 @@ dram::EnergyBreakdown
 SystemModel::collectEnergy(const RunStats &rs) const
 {
     dram::EnergyBreakdown total;
-    const Tick elapsed = rs.makespan;
+    const TickDelta elapsed = rs.makespan;
 
     // Host channel DRAM energy (index data; plus vector data for CPU
     // designs). I/O is charged for every channel transfer.
@@ -817,7 +819,8 @@ SystemModel::collectEnergy(const RunStats &rs) const
         total += dram::rankEnergy(ctrl.rankDevice(0), cfg_.energy, elapsed,
                                   0);
         ndp_compute_nj += cfg_.energy.ndpUnitActiveMw *
-                          static_cast<double>(u->computeBusy()) * 1e-6;
+                          static_cast<double>(u->computeBusy().raw()) *
+                          1e-6;
     }
 
     // Host cores: for CPU designs the core spins through the whole
@@ -825,11 +828,11 @@ SystemModel::collectEnergy(const RunStats &rs) const
     // during traversal, offload, and collection.
     double host_busy_ticks = 0.0;
     for (const auto &q : rs.queries) {
-        host_busy_ticks += static_cast<double>(q.traversal) +
-                           static_cast<double>(q.offload) +
-                           static_cast<double>(q.collect);
+        host_busy_ticks += static_cast<double>(q.traversal.raw()) +
+                           static_cast<double>(q.offload.raw()) +
+                           static_cast<double>(q.collect.raw());
         if (!isNdp(cfg_.design))
-            host_busy_ticks += static_cast<double>(q.distComp);
+            host_busy_ticks += static_cast<double>(q.distComp.raw());
     }
     // W * ps = 1e-12 J = 1e-3 nJ
     const double host_nj =

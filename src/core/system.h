@@ -63,12 +63,12 @@ struct SystemConfig
 /** Per-query timing outcome. */
 struct QueryStats
 {
-    Tick start = 0;
-    Tick end = 0;
-    Tick traversal = 0;  //!< index reads + step overhead + heap ops
-    Tick offload = 0;    //!< NDP instruction transfer time
-    Tick distComp = 0;   //!< distance comparison (CPU or NDP)
-    Tick collect = 0;    //!< result polling / collection
+    Tick start{};
+    Tick end{};
+    TickDelta traversal{}; //!< index reads + step overhead + heap ops
+    TickDelta offload{};   //!< NDP instruction transfer time
+    TickDelta distComp{};  //!< distance comparison (CPU or NDP)
+    TickDelta collect{};   //!< result polling / collection
 
     std::uint64_t comparisons = 0;
     std::uint64_t accepted = 0;
@@ -78,32 +78,32 @@ struct QueryStats
     std::uint64_t backupLines = 0;
     std::uint64_t polls = 0;
 
-    Tick latency() const { return end - start; }
+    TickDelta latency() const { return end - start; }
 };
 
 /** Whole-run outcome. */
 struct RunStats
 {
     std::vector<QueryStats> queries;
-    Tick makespan = 0;
+    TickDelta makespan{};
     dram::EnergyBreakdown energy;
     double loadImbalance = 1.0;
 
     double
     qps() const
     {
-        if (makespan == 0)
+        if (makespan == TickDelta{})
             return 0.0;
         return static_cast<double>(queries.size()) /
-               (static_cast<double>(makespan) * 1e-12);
+               (static_cast<double>(makespan.raw()) * 1e-12);
     }
 
-    Tick
+    TickDelta
     meanLatency() const
     {
         if (queries.empty())
-            return 0;
-        Tick sum = 0;
+            return TickDelta{};
+        TickDelta sum{};
         for (const auto &q : queries)
             sum += q.latency();
         return sum / queries.size();

@@ -40,7 +40,7 @@ HostCpu::HostCpu(sim::EventQueue &eq, const HostParams &hp,
 void
 HostCpu::compute(std::uint64_t cycles, Callback done)
 {
-    const Tick ticks = cycles * hp_.period();
+    const TickDelta ticks = cycles * hp_.period();
     compute_busy_ += ticks;
     hostMetrics().computeCycles.add(cycles);
     eq_.scheduleIn(ticks, std::move(done));
@@ -101,8 +101,9 @@ HostCpu::read(Addr addr, unsigned lines, Callback done)
     for (unsigned i = 0; i < lines; ++i) {
         const Addr a = addr + static_cast<Addr>(i) * kLineBytes;
         const auto level = caches_->access(a);
-        const Tick lat =
-            static_cast<Tick>(caches_->hitCycles(level)) * hp_.period();
+        const TickDelta lat =
+            static_cast<std::uint64_t>(caches_->hitCycles(level)) *
+            hp_.period();
         if (level != cache::CacheHierarchy::Level::kMemory) {
             ++hits;
             eq_.scheduleIn(lat, [this, op] { lineDone(op); });

@@ -47,7 +47,7 @@ struct HostParams
 
     cache::HierarchyParams cacheParams{};
 
-    Tick period() const { return periodFromGHz(freqGHz); }
+    TickDelta period() const { return periodFromGHz(freqGHz); }
 };
 
 /**
@@ -98,7 +98,7 @@ class HostCpu
     }
 
     /** Total busy compute ticks accumulated (for energy). */
-    Tick computeBusy() const { return compute_busy_; }
+    TickDelta computeBusy() const { return compute_busy_; }
 
     /** Map a flat line number onto (channel, rank, bank address). */
     struct MappedLine
@@ -128,7 +128,7 @@ class HostCpu
     std::vector<std::unique_ptr<dram::MemController>> channels_;
     std::vector<ReadOp> read_pool_;
     std::vector<std::uint32_t> read_free_;
-    Tick compute_busy_ = 0;
+    TickDelta compute_busy_{};
 };
 
 } // namespace ansmet::cpu

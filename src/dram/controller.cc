@@ -93,9 +93,9 @@ MemController::nextCommand(const Pending &p, Tick now) const
     if (open && *open == a.row) {
         // Row hit: column command, also gated by the shared data bus.
         Tick t = dev.earliestCol(a, p.req.isWrite, now);
-        const Tick data_latency =
+        const TickDelta data_latency =
             tp_.cycles(p.req.isWrite ? tp_.tCWL : tp_.tCL);
-        if (data_bus_free_at_ > data_latency &&
+        if (data_bus_free_at_ - Tick{} > data_latency &&
             t + data_latency < data_bus_free_at_) {
             t = data_bus_free_at_ - data_latency;
         }
@@ -135,8 +135,8 @@ MemController::issueFor(Pending &p, const Candidate &c, Tick t)
         data_bus_free_at_ = data_end;
         data_bus_busy_ += tp_.cycles(tp_.tBL);
         stats_.scalar("queue_latency")
-            .sample(static_cast<double>(t - p.req.arrival));
-        dramMetrics().queueLatency.sample(t - p.req.arrival);
+            .sample(static_cast<double>((t - p.req.arrival).raw()));
+        dramMetrics().queueLatency.sample((t - p.req.arrival).raw());
         scheduleCompletion(data_end, std::move(p.req.onComplete));
         break;
       }
@@ -161,9 +161,9 @@ MemController::serveBusTransfers(Tick now, Tick before)
         const Tick tc = std::max(now, cmd_bus_free_at_);
         const unsigned latency =
             bus_queue_.front().isWrite ? tp_.tCWL : tp_.tCL;
-        const Tick data_latency = tp_.cycles(latency);
+        const TickDelta data_latency = tp_.cycles(latency);
         Tick t = tc;
-        if (data_bus_free_at_ > data_latency &&
+        if (data_bus_free_at_ - Tick{} > data_latency &&
             t + data_latency < data_bus_free_at_) {
             t = data_bus_free_at_ - data_latency;
         }

@@ -56,7 +56,7 @@ class MemController
     const StatGroup &stats() const { return stats_; }
 
     /** Ticks during which the data bus carried a burst (utilization). */
-    Tick dataBusBusy() const { return data_bus_busy_; }
+    TickDelta dataBusBusy() const { return data_bus_busy_; }
 
   private:
     struct Pending
@@ -82,7 +82,7 @@ class MemController
     struct BusTransfer
     {
         bool isWrite = false;
-        Tick arrival = 0;
+        Tick arrival{};
         Request::Callback cb;
     };
 
@@ -112,9 +112,9 @@ class MemController
     std::vector<std::uint32_t> done_free_;
     std::uint64_t next_order_ = 0;
 
-    Tick cmd_bus_free_at_ = 0;
-    Tick data_bus_free_at_ = 0;
-    Tick data_bus_busy_ = 0;
+    Tick cmd_bus_free_at_{};
+    Tick data_bus_free_at_{};
+    TickDelta data_bus_busy_{};
 
     /**
      * Earliest pending kick and its generation. Superseded kick events
@@ -125,7 +125,7 @@ class MemController
     std::uint64_t kick_gen_ = 0;
 
     /** Age (ticks) past which the oldest request preempts row hits. */
-    Tick starvation_limit_;
+    TickDelta starvation_limit_;
 
     StatGroup stats_;
 

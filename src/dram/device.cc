@@ -21,7 +21,7 @@ commandName(Command c)
 
 RankDevice::RankDevice(const TimingParams &tp, const OrgParams &org)
     : tp_(tp), org_(org), banks_(org.banksPerRank()),
-      nextRefreshAt_(tp.cycles(tp.tREFI))
+      nextRefreshAt_(Tick{} + tp.cycles(tp.tREFI))
 {
 }
 

@@ -89,9 +89,9 @@ class RankDevice
     struct Bank
     {
         std::optional<unsigned> openRow;
-        Tick actAllowedAt = 0;
-        Tick preAllowedAt = 0;
-        Tick colAllowedAt = 0;  //!< from tRCD after ACT
+        Tick actAllowedAt{};
+        Tick preAllowedAt{};
+        Tick colAllowedAt{};    //!< from tRCD after ACT
     };
 
     Bank &bank(const BankAddr &a);
@@ -111,16 +111,16 @@ class RankDevice
     std::vector<Bank> banks_;
 
     // Rank-level history.
-    Tick lastActAt_ = 0;
+    Tick lastActAt_{};
     unsigned lastActBg_ = ~0u;
     bool anyAct_ = false;
     std::deque<Tick> actWindow_;          //!< for tFAW (last 4 ACTs)
-    Tick lastColAt_ = 0;
+    Tick lastColAt_{};
     unsigned lastColBg_ = ~0u;
     bool lastColWasWrite_ = false;
     bool anyCol_ = false;
-    Tick writeRecoveryUntil_ = 0;         //!< WR data end + tWTR, gates RD
-    Tick refreshBlockedUntil_ = 0;
+    Tick writeRecoveryUntil_{};           //!< WR data end + tWTR, gates RD
+    Tick refreshBlockedUntil_{};
     Tick nextRefreshAt_;
 
     bool tracing_ = false;

@@ -20,7 +20,7 @@ namespace ansmet::dram {
 /** Device timing constraints, in controller clock cycles. */
 struct TimingParams
 {
-    Tick tCK = 416;        //!< clock period in ticks (ps)
+    TickDelta tCK{416};    //!< clock period in ticks (ps)
 
     unsigned tRCD = 40;    //!< ACT -> column command
     unsigned tCL = 40;     //!< RD -> first data beat
@@ -40,7 +40,11 @@ struct TimingParams
     unsigned tREFI = 9360; //!< refresh interval (3.9 us)
     unsigned tRFC = 984;   //!< refresh cycle time (410 ns)
 
-    Tick cycles(unsigned c) const { return static_cast<Tick>(c) * tCK; }
+    TickDelta
+    cycles(unsigned c) const
+    {
+        return static_cast<std::uint64_t>(c) * tCK;
+    }
 };
 
 /** Organization of the memory system. */

@@ -47,8 +47,8 @@ struct EnergyBreakdown
 
 /** Compute one rank's energy for a run of @p elapsed ticks. */
 inline EnergyBreakdown
-rankEnergy(const RankDevice &dev, const EnergyParams &ep, Tick elapsed,
-           std::uint64_t host_transfers)
+rankEnergy(const RankDevice &dev, const EnergyParams &ep,
+           TickDelta elapsed, std::uint64_t host_transfers)
 {
     EnergyBreakdown e;
     e.actPreNj = static_cast<double>(dev.numActs()) * ep.actPreEnergyNj;
@@ -60,7 +60,7 @@ rankEnergy(const RankDevice &dev, const EnergyParams &ep, Tick elapsed,
         static_cast<double>(dev.numRefreshes()) * ep.refreshEnergyNj;
     // mW * ps = 1e-3 J/s * 1e-12 s = 1e-15 J = 1e-6 nJ
     e.backgroundNj =
-        ep.backgroundMwPerRank * static_cast<double>(elapsed) * 1e-6;
+        ep.backgroundMwPerRank * static_cast<double>(elapsed.raw()) * 1e-6;
     return e;
 }
 

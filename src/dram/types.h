@@ -51,7 +51,7 @@ struct Request
 
     BankAddr addr;
     bool isWrite = false;
-    Tick arrival = 0;
+    Tick arrival{};
     Callback onComplete;
 };
 

@@ -112,7 +112,7 @@ NdpUnit::startNext(unsigned qshr)
     q.nextLine = t.startLine;
     // QSHR lookup + command generation latency before the first fetch.
     eq_.scheduleIn(
-        static_cast<Tick>(np_.qshrLookupCycles) * np_.period(),
+        static_cast<std::uint64_t>(np_.qshrLookupCycles) * np_.period(),
         [this, qshr] { issueWindow(qshr); });
 }
 
@@ -189,7 +189,7 @@ NdpUnit::lineArrived(unsigned qshr, Tick when)
         NdpMetrics &m = ndpMetrics();
         m.tasks.inc();
         m.taskLines.sample(std::max(1u, done.lines));
-        m.taskLatency.sample(end - qs.headStart);
+        m.taskLatency.sample((end - qs.headStart).raw());
         obs::TraceWriter::instance().span(
             "ndp_task", obs::ndpLaneTid(id_, qshr), qs.headStart, end);
         if (done.onComplete)

@@ -48,7 +48,7 @@ struct NdpParams
      */
     unsigned fetchPipelineDepth = 4;
 
-    Tick period() const { return periodFromGHz(freqGHz); }
+    TickDelta period() const { return periodFromGHz(freqGHz); }
 };
 
 /** One offloaded comparison task (one vector against one query). */
@@ -115,7 +115,7 @@ class NdpUnit
     std::uint64_t linesFetched() const { return lines_fetched_; }
 
     /** Ticks the compute unit spent busy (for energy). */
-    Tick computeBusy() const { return compute_busy_; }
+    TickDelta computeBusy() const { return compute_busy_; }
 
     std::uint64_t tasksCompleted() const { return tasks_completed_; }
 
@@ -128,7 +128,7 @@ class NdpUnit
         unsigned linesToIssue = 0;   //!< lines not yet sent to DRAM
         unsigned linesInFlight = 0;  //!< issued, data not yet consumed
         std::uint64_t nextLine = 0;
-        Tick headStart = 0;          //!< when the head task began
+        Tick headStart{};            //!< when the head task began
     };
 
     void startNext(unsigned qshr);
@@ -142,8 +142,8 @@ class NdpUnit
     std::vector<QshrState> qshrs_;
     unsigned id_;
 
-    Tick compute_free_at_ = 0;
-    Tick compute_busy_ = 0;
+    Tick compute_free_at_{};
+    TickDelta compute_busy_{};
     std::uint64_t lines_fetched_ = 0;
     std::uint64_t tasks_completed_ = 0;
     std::uint64_t backpressure_events_ = 0;

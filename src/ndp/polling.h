@@ -36,9 +36,9 @@ const char *pollingModeName(PollingMode m);
 struct PollingParams
 {
     PollingMode mode = PollingMode::kAdaptive;
-    Tick conventionalInterval = 100 * kTicksPerNs;
+    TickDelta conventionalInterval = 100 * kTicksPerNs;
     /** Backoff between re-probes after an early adaptive poll. */
-    Tick adaptiveBackoff = 25 * kTicksPerNs;
+    TickDelta adaptiveBackoff = 25 * kTicksPerNs;
 };
 
 /**
@@ -53,8 +53,8 @@ class PollingEstimator
      * @param per_line the average rank-local latency of one 64 B fetch
      * @param fixed fixed per-task overhead (QSHR lookup + compute)
      */
-    PollingEstimator(const std::vector<double> &fetch_dist, Tick per_line,
-                     Tick fixed)
+    PollingEstimator(const std::vector<double> &fetch_dist,
+                     TickDelta per_line, TickDelta fixed)
         : per_line_(per_line), fixed_(fixed)
     {
         ANSMET_CHECK(!fetch_dist.empty(),
@@ -74,22 +74,23 @@ class PollingEstimator
     }
 
     /** Expected completion of @p tasks sequential tasks on one QSHR. */
-    Tick
+    TickDelta
     expectedLatency(std::size_t tasks) const
     {
         ANSMET_DCHECK(tasks > 0,
                       "completion prediction for an empty QSHR batch");
         const double per_task =
-            expected_lines_ * static_cast<double>(per_line_) +
-            static_cast<double>(fixed_);
-        return static_cast<Tick>(per_task * static_cast<double>(tasks));
+            expected_lines_ * static_cast<double>(per_line_.raw()) +
+            static_cast<double>(fixed_.raw());
+        return TickDelta{static_cast<std::uint64_t>(
+            per_task * static_cast<double>(tasks))};
     }
 
     double expectedLines() const { return expected_lines_; }
 
   private:
-    Tick per_line_;
-    Tick fixed_;
+    TickDelta per_line_;
+    TickDelta fixed_;
     double expected_lines_ = 0.0;
 };
 

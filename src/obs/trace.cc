@@ -34,7 +34,13 @@ struct Event
 double
 us(Tick t)
 {
-    return static_cast<double>(t) / 1e6;
+    return static_cast<double>(t.raw()) / 1e6;
+}
+
+double
+us(TickDelta d)
+{
+    return static_cast<double>(d.raw()) / 1e6;
 }
 
 void
@@ -162,7 +168,7 @@ TraceWriter::beginRun(std::string_view name)
     e.name = "process_name";
     e.pid = pid;
     e.tid = 0;
-    e.start = 0;
+    e.start = Tick{};
     e.args.emplace_back("name", 0);
     // Metadata carries a string arg; reuse the name field of a second
     // slot to avoid widening TraceArg for this one case.
@@ -235,7 +241,7 @@ TraceWriter::nameThread(std::uint32_t tid, std::string_view name)
     e.name = "thread_name";
     e.pid = i.pid();
     e.tid = tid;
-    e.start = 0;
+    e.start = Tick{};
     e.args.emplace_back(std::string(name), 0);
     i.push(std::move(e));
 }

@@ -68,7 +68,8 @@ class EventQueue
     /** Ring size (days); must be a power of two. */
     static constexpr std::size_t kNumBuckets = 4096;
     /** Events scheduled further than this go to the overflow tier. */
-    static constexpr Tick kHorizonTicks = Tick{kNumBuckets} << kDayShift;
+    static constexpr TickDelta kHorizonTicks{
+        static_cast<std::uint64_t>(kNumBuckets) << kDayShift};
 
     /** Current simulation time. */
     Tick now() const { return now_; }
@@ -108,7 +109,8 @@ class EventQueue
 
     /** Schedule @p delta ticks from now. */
     std::uint64_t
-    scheduleIn(Tick delta, Callback cb, Priority prio = kDefaultPriority)
+    scheduleIn(TickDelta delta, Callback cb,
+               Priority prio = kDefaultPriority)
     {
         return schedule(now_ + delta, std::move(cb), prio);
     }
@@ -161,7 +163,7 @@ class EventQueue
                 std::fprintf(stderr,
                              "[eq] %llu events, now=%llu ps, pending=%zu\n",
                              static_cast<unsigned long long>(processed),
-                             static_cast<unsigned long long>(now_),
+                             static_cast<unsigned long long>(now_.raw()),
                              live_);
                 if (debug_hook_)
                     debug_hook_();
@@ -216,7 +218,7 @@ class EventQueue
         cur_day_ = 0;
         seq_ = 0;
         live_ = 0;
-        now_ = 0;
+        now_ = Tick{};
     }
 
   private:
@@ -224,7 +226,7 @@ class EventQueue
     struct EventRec
     {
         Callback cb;
-        Tick when = 0;
+        Tick when{};
         std::uint64_t seq = 0;   //!< global insertion order
         std::uint32_t gen = 0;   //!< bumped on release; part of handle
         Priority prio = 0;
@@ -272,7 +274,7 @@ class EventQueue
     void
     place(const Key &k)
     {
-        const std::uint64_t day = k.when >> kDayShift;
+        const std::uint64_t day = k.when.raw() >> kDayShift;
         if (day <= cur_day_) {
             // Current (or, after a bounded run(), an already-passed)
             // day: must be visible to the next front() immediately.
@@ -319,9 +321,10 @@ class EventQueue
             return false;
         // Ring empty: jump straight to the earliest overflow day and
         // pull everything newly within the horizon back in.
-        ANSMET_DCHECK((overflow_.front().when >> kDayShift) >= cur_day_,
+        ANSMET_DCHECK((overflow_.front().when.raw() >> kDayShift) >=
+                          cur_day_,
                       "overflow event behind the calendar");
-        cur_day_ = overflow_.front().when >> kDayShift;
+        cur_day_ = overflow_.front().when.raw() >> kDayShift;
         migrateOverflow();
         return true;
     }
@@ -376,7 +379,7 @@ class EventQueue
     migrateOverflow()
     {
         while (!overflow_.empty() &&
-               (overflow_.front().when >> kDayShift) - cur_day_ <
+               (overflow_.front().when.raw() >> kDayShift) - cur_day_ <
                    kNumBuckets) {
             const Key k = overflow_.front();
             heapPop(overflow_);
@@ -411,7 +414,7 @@ class EventQueue
     std::uint64_t cur_day_ = 0;
     std::uint64_t seq_ = 0;
     std::size_t live_ = 0;
-    Tick now_ = 0;
+    Tick now_{};
     bool debug_ = false;
     std::function<void()> debug_hook_;
 };
@@ -423,14 +426,15 @@ class EventQueue
 class Clocked
 {
   public:
-    Clocked(EventQueue &eq, Tick period) : eq_(eq), period_(period)
+    Clocked(EventQueue &eq, TickDelta period) : eq_(eq), period_(period)
     {
-        ANSMET_CHECK(period > 0, "clocked component with zero period");
+        ANSMET_CHECK(period > TickDelta{},
+                     "clocked component with zero period");
     }
 
     virtual ~Clocked() = default;
 
-    Tick period() const { return period_; }
+    TickDelta period() const { return period_; }
     Tick now() const { return eq_.now(); }
 
     /** The tick of the next clock edge at or after now. */
@@ -441,14 +445,18 @@ class Clocked
         return roundUpTick(t);
     }
 
-    /** Convert a cycle count to ticks. */
-    Tick cyclesToTicks(std::uint64_t cycles) const { return cycles * period_; }
-
-    /** Convert ticks to whole cycles (rounding up). */
-    std::uint64_t
-    ticksToCycles(Tick t) const
+    /** Convert a cycle count to a span of ticks. */
+    TickDelta
+    cyclesToTicks(std::uint64_t cycles) const
     {
-        return (t + period_ - 1) / period_;
+        return cycles * period_;
+    }
+
+    /** Convert a span of ticks to whole cycles (rounding up). */
+    std::uint64_t
+    ticksToCycles(TickDelta t) const
+    {
+        return (t.raw() + period_.raw() - 1) / period_.raw();
     }
 
     EventQueue &eventQueue() { return eq_; }
@@ -457,12 +465,13 @@ class Clocked
     Tick
     roundUpTick(Tick t) const
     {
-        return (t + period_ - 1) / period_ * period_;
+        const std::uint64_t p = period_.raw();
+        return Tick{(t.raw() + p - 1) / p * p};
     }
 
   private:
     EventQueue &eq_;
-    Tick period_;
+    TickDelta period_;
 };
 
 } // namespace ansmet::sim

@@ -52,7 +52,7 @@ class ReferenceEventQueue
     }
 
     std::uint64_t
-    scheduleIn(Tick delta, Callback cb, Priority prio = 0)
+    scheduleIn(TickDelta delta, Callback cb, Priority prio = 0)
     {
         return schedule(now_ + delta, std::move(cb), prio);
     }
@@ -103,7 +103,7 @@ class ReferenceEventQueue
     {
         heap_ = {};
         cancelled_.clear();
-        now_ = 0;
+        now_ = Tick{};
         next_id_ = 0;
     }
 
@@ -140,7 +140,7 @@ class ReferenceEventQueue
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
     std::vector<std::uint64_t> cancelled_;
-    Tick now_ = 0;
+    Tick now_{};
     std::uint64_t next_id_ = 0;
 };
 

@@ -8,7 +8,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/bitops.h"
@@ -186,21 +189,21 @@ TEST(EventQueue, OrdersByTime)
 {
     sim::EventQueue eq;
     std::vector<int> order;
-    eq.schedule(30, [&] { order.push_back(3); });
-    eq.schedule(10, [&] { order.push_back(1); });
-    eq.schedule(20, [&] { order.push_back(2); });
+    eq.schedule(Tick{30}, [&] { order.push_back(3); });
+    eq.schedule(Tick{10}, [&] { order.push_back(1); });
+    eq.schedule(Tick{20}, [&] { order.push_back(2); });
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.now(), Tick{30});
 }
 
 TEST(EventQueue, SameTickPriorityAndFifo)
 {
     sim::EventQueue eq;
     std::vector<int> order;
-    eq.schedule(10, [&] { order.push_back(2); }, 1);
-    eq.schedule(10, [&] { order.push_back(1); }, 0);
-    eq.schedule(10, [&] { order.push_back(3); }, 1);
+    eq.schedule(Tick{10}, [&] { order.push_back(2); }, 1);
+    eq.schedule(Tick{10}, [&] { order.push_back(1); }, 0);
+    eq.schedule(Tick{10}, [&] { order.push_back(3); }, 1);
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -209,22 +212,22 @@ TEST(EventQueue, ScheduledDuringRun)
 {
     sim::EventQueue eq;
     int hits = 0;
-    eq.schedule(5, [&] {
+    eq.schedule(Tick{5}, [&] {
         ++hits;
-        eq.scheduleIn(5, [&] { ++hits; });
+        eq.scheduleIn(TickDelta{5}, [&] { ++hits; });
     });
     eq.run();
     EXPECT_EQ(hits, 2);
-    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.now(), Tick{10});
 }
 
 TEST(EventQueue, Deschedule)
 {
     sim::EventQueue eq;
     int hits = 0;
-    const auto id = eq.schedule(5, [&] { ++hits; });
+    const auto id = eq.schedule(Tick{5}, [&] { ++hits; });
     eq.deschedule(id);
-    eq.schedule(6, [&] { ++hits; });
+    eq.schedule(Tick{6}, [&] { ++hits; });
     eq.run();
     EXPECT_EQ(hits, 1);
 }
@@ -233,9 +236,9 @@ TEST(EventQueue, RunLimit)
 {
     sim::EventQueue eq;
     int hits = 0;
-    eq.schedule(5, [&] { ++hits; });
-    eq.schedule(50, [&] { ++hits; });
-    eq.run(10);
+    eq.schedule(Tick{5}, [&] { ++hits; });
+    eq.schedule(Tick{50}, [&] { ++hits; });
+    eq.run(Tick{10});
     EXPECT_EQ(hits, 1);
     EXPECT_EQ(eq.pending(), 1u);
 }
@@ -243,10 +246,85 @@ TEST(EventQueue, RunLimit)
 TEST(Clocked, Conversions)
 {
     sim::EventQueue eq;
-    sim::Clocked c(eq, 416);
-    EXPECT_EQ(c.cyclesToTicks(10), 4160u);
-    EXPECT_EQ(c.ticksToCycles(4160), 10u);
-    EXPECT_EQ(c.ticksToCycles(4161), 11u);
+    sim::Clocked c(eq, TickDelta{416});
+    EXPECT_EQ(c.cyclesToTicks(10), TickDelta{4160});
+    EXPECT_EQ(c.ticksToCycles(TickDelta{4160}), 10u);
+    EXPECT_EQ(c.ticksToCycles(TickDelta{4161}), 11u);
+}
+
+// ---------------------------------------------------------------------
+// Strong tick units (common/types.h). The unit contract is enforced at
+// compile time; these probes pin the rejected expressions via type
+// traits (a deleted operator or explicit constructor makes the
+// corresponding trait false) and the accepted algebra at runtime.
+// ---------------------------------------------------------------------
+
+// Implicit construction from raw integers is rejected in both
+// directions: a byte count or queue depth can never become a time.
+static_assert(!std::is_convertible_v<int, sim::Tick>,
+              "Tick must not be implicitly constructible from int");
+static_assert(!std::is_convertible_v<std::uint64_t, sim::Tick>,
+              "Tick must not be implicitly constructible from uint64");
+static_assert(!std::is_convertible_v<int, sim::TickDelta>,
+              "TickDelta must not be implicitly constructible from int");
+static_assert(!std::is_convertible_v<std::uint64_t, sim::TickDelta>,
+              "TickDelta must not be implicitly constructible from uint64");
+static_assert(std::is_constructible_v<sim::Tick, std::uint64_t>,
+              "explicit Tick{raw} construction stays available");
+
+// Unit-unsound arithmetic on absolute time points does not exist:
+// adding or scaling two points is meaningless.
+static_assert(!std::is_invocable_v<std::plus<>, sim::Tick, sim::Tick>,
+              "Tick + Tick must not compile");
+static_assert(
+    !std::is_invocable_v<std::multiplies<>, sim::Tick, sim::Tick>,
+    "Tick * Tick must not compile");
+static_assert(
+    !std::is_invocable_v<std::multiplies<>, sim::Tick, std::uint64_t>,
+    "Tick * scalar must not compile");
+static_assert(!std::is_invocable_v<std::divides<>, sim::Tick, sim::Tick>,
+              "Tick / Tick must not compile");
+
+// The sound algebra: Tick +- TickDelta -> Tick, Tick - Tick ->
+// TickDelta, TickDelta scales by counts, and span ratios are counts.
+static_assert(std::is_same_v<decltype(sim::Tick{5} + sim::TickDelta{2}),
+                             sim::Tick>);
+static_assert(std::is_same_v<decltype(sim::Tick{5} - sim::Tick{2}),
+                             sim::TickDelta>);
+static_assert(
+    std::is_same_v<decltype(sim::TickDelta{5} * std::uint64_t{2}),
+                   sim::TickDelta>);
+static_assert(
+    std::is_same_v<decltype(sim::TickDelta{6} / sim::TickDelta{2}),
+                   std::uint64_t>);
+
+TEST(TickUnits, SoundAlgebraEvaluates)
+{
+    const Tick t0{1000};
+    const TickDelta d{250};
+    EXPECT_EQ(t0 + d, Tick{1250});
+    EXPECT_EQ(d + t0, Tick{1250});
+    EXPECT_EQ(t0 - d, Tick{750});
+    EXPECT_EQ((t0 + d) - t0, d);
+    EXPECT_EQ(3 * d, TickDelta{750});
+    EXPECT_EQ(d * 3, TickDelta{750});
+    EXPECT_EQ(TickDelta{750} / d, 3u);
+    EXPECT_EQ(TickDelta{750} % d, TickDelta{});
+    Tick t = t0;
+    t += d;
+    EXPECT_EQ(t, Tick{1250});
+    t -= d;
+    EXPECT_EQ(t, t0);
+    EXPECT_EQ(t0.raw(), 1000u);
+    EXPECT_EQ(d.raw(), 250u);
+}
+
+TEST(TickUnits, ConstantsAndConversions)
+{
+    EXPECT_EQ(kTicksPerNs, TickDelta{1000});
+    EXPECT_EQ(periodFromGHz(1.0), TickDelta{1000});
+    EXPECT_EQ(periodFromGHz(2.0), TickDelta{500});
+    EXPECT_GT(kMaxTick, Tick{});
 }
 
 TEST(Check, PassingConditionsAreSilent)

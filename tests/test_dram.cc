@@ -39,14 +39,14 @@ verifyTrace(const std::vector<CommandRecord> &trace, const TimingParams &tp,
 {
     struct BankView
     {
-        Tick lastAct = 0;
-        Tick lastPre = 0;
-        Tick lastCol = 0;
+        Tick lastAct{};
+        Tick lastPre{};
+        Tick lastCol{};
         bool open = false;
         bool sawAct = false, sawPre = false, sawCol = false;
     };
     std::map<unsigned, BankView> banks;
-    Tick lastActRank = 0;
+    Tick lastActRank{};
     bool sawActRank = false;
     std::vector<Tick> actWindow;
 
@@ -71,8 +71,7 @@ verifyTrace(const std::vector<CommandRecord> &trace, const TimingParams &tp,
             if (actWindow.size() > 4)
                 actWindow.erase(actWindow.begin());
             if (actWindow.size() == 4) {
-                EXPECT_GE(c.tick,
-                          actWindow.front() + 0u); // window recorded
+                EXPECT_GE(c.tick, actWindow.front()); // window recorded
             }
             b.lastAct = c.tick;
             b.sawAct = true;
@@ -109,8 +108,8 @@ TEST(RankDevice, ClosedPageReadLatency)
     RankDevice dev(tp, smallOrg());
     BankAddr a{0, 0, 5, 17};
 
-    const Tick act = dev.earliestAct(a, 0);
-    EXPECT_EQ(act, 0u);
+    const Tick act = dev.earliestAct(a, Tick{});
+    EXPECT_EQ(act, Tick{});
     dev.issueAct(a, act);
     const Tick col = dev.earliestCol(a, false, act);
     EXPECT_EQ(col, act + tp.cycles(tp.tRCD));
@@ -125,12 +124,12 @@ TEST(RankDevice, RowConflictNeedsPrecharge)
     BankAddr a{0, 0, 5, 0};
     BankAddr b{0, 0, 9, 0};
 
-    dev.issueAct(a, 0);
+    dev.issueAct(a, Tick{});
     EXPECT_TRUE(dev.openRow(b).has_value());
     EXPECT_EQ(*dev.openRow(b), 5u);
 
-    const Tick pre = dev.earliestPre(b, 0);
-    EXPECT_GE(pre, tp.cycles(tp.tRAS));
+    const Tick pre = dev.earliestPre(b, Tick{});
+    EXPECT_GE(pre, Tick{} + tp.cycles(tp.tRAS));
     dev.issuePre(b, pre);
     EXPECT_FALSE(dev.openRow(b).has_value());
     const Tick act = dev.earliestAct(b, pre);
@@ -141,7 +140,7 @@ TEST(RankDevice, FawLimitsActivates)
 {
     const auto tp = timing();
     RankDevice dev(tp, smallOrg());
-    Tick t = 0;
+    Tick t{};
     // Four ACTs to different bank groups, spaced at tRRD_S.
     for (unsigned i = 0; i < 4; ++i) {
         BankAddr a{i, 0, 1, 0};
@@ -151,8 +150,9 @@ TEST(RankDevice, FawLimitsActivates)
     BankAddr fifth{4, 0, 1, 0};
     const Tick e = dev.earliestAct(fifth, t);
     // The fifth ACT must wait for the FAW window from the first.
-    EXPECT_GE(e, dev.trace().empty() ? 0 : tp.cycles(tp.tFAW));
-    EXPECT_GE(e, tp.cycles(tp.tFAW));
+    EXPECT_GE(e, Tick{} + (dev.trace().empty() ? TickDelta{}
+                                               : tp.cycles(tp.tFAW)));
+    EXPECT_GE(e, Tick{} + tp.cycles(tp.tFAW));
 }
 
 TEST(RankDevice, WriteRecoveryGatesRead)
@@ -160,8 +160,8 @@ TEST(RankDevice, WriteRecoveryGatesRead)
     const auto tp = timing();
     RankDevice dev(tp, smallOrg());
     BankAddr a{0, 0, 1, 0};
-    dev.issueAct(a, 0);
-    const Tick wr = dev.earliestCol(a, true, 0);
+    dev.issueAct(a, Tick{});
+    const Tick wr = dev.earliestCol(a, true, Tick{});
     const Tick wr_end = dev.issueCol(a, true, wr);
     const Tick rd = dev.earliestCol(a, false, wr + tp.tCK);
     EXPECT_GE(rd, wr_end + tp.cycles(tp.tWTR));
@@ -172,13 +172,13 @@ TEST(RankDevice, RefreshBlocksAndCloses)
     const auto tp = timing();
     RankDevice dev(tp, smallOrg());
     BankAddr a{0, 0, 1, 0};
-    dev.issueAct(a, 0);
-    const Tick after_refi = tp.cycles(tp.tREFI) + 10;
+    dev.issueAct(a, Tick{});
+    const Tick after_refi = Tick{} + tp.cycles(tp.tREFI) + TickDelta{10};
     dev.catchUpRefresh(after_refi);
     EXPECT_EQ(dev.numRefreshes(), 1u);
     EXPECT_FALSE(dev.openRow(a).has_value());
     EXPECT_GE(dev.earliestAct(a, after_refi),
-              tp.cycles(tp.tREFI) + tp.cycles(tp.tRFC));
+              Tick{} + tp.cycles(tp.tREFI) + tp.cycles(tp.tRFC));
 }
 
 TEST(MemController, SingleReadCompletes)
@@ -187,7 +187,7 @@ TEST(MemController, SingleReadCompletes)
     const auto tp = timing();
     MemController ctrl(eq, tp, smallOrg(), 1, "t");
 
-    Tick done = 0;
+    Tick done{};
     Request req;
     req.addr = BankAddr{0, 0, 1, 0};
     req.onComplete = [&](Tick t) { done = t; };
@@ -195,7 +195,7 @@ TEST(MemController, SingleReadCompletes)
     eq.run();
 
     // Closed page: ACT + tRCD + CL + tBL.
-    EXPECT_EQ(done, tp.cycles(tp.tRCD + tp.tCL + tp.tBL));
+    EXPECT_EQ(done, Tick{} + tp.cycles(tp.tRCD + tp.tCL + tp.tBL));
 }
 
 TEST(MemController, RowHitsAreFasterThanConflicts)
@@ -212,7 +212,7 @@ TEST(MemController, RowHitsAreFasterThanConflicts)
         ctrl.enqueue(0, std::move(req));
     }
     eq.run();
-    const Tick hits_span = hit_done[3] - hit_done[0];
+    const TickDelta hits_span = hit_done[3] - hit_done[0];
 
     sim::EventQueue eq2;
     MemController ctrl2(eq2, tp, smallOrg(), 1, "t2");
@@ -282,10 +282,10 @@ TEST(MemController, BusTransferLatency)
     sim::EventQueue eq;
     const auto tp = timing();
     MemController ctrl(eq, tp, smallOrg(), 1, "t");
-    Tick done = 0;
+    Tick done{};
     ctrl.enqueueBusTransfer(true, [&](Tick t) { done = t; });
     eq.run();
-    EXPECT_EQ(done, tp.cycles(tp.tCWL + tp.tBL));
+    EXPECT_EQ(done, Tick{} + tp.cycles(tp.tCWL + tp.tBL));
 }
 
 TEST(MemController, BandwidthApproachesPeakOnStreams)
@@ -304,8 +304,8 @@ TEST(MemController, BandwidthApproachesPeakOnStreams)
     }
     eq.run();
     // Streaming row hits should keep the data bus > 70% utilized.
-    const double util = static_cast<double>(ctrl.dataBusBusy()) /
-                        static_cast<double>(eq.now());
+    const double util = static_cast<double>(ctrl.dataBusBusy().raw()) /
+                        static_cast<double>(eq.now().raw());
     EXPECT_GT(util, 0.7);
 }
 
@@ -335,14 +335,14 @@ TEST(Power, EnergyScalesWithActivity)
     RankDevice dev(tp, org);
     const EnergyParams ep;
 
-    const auto idle = rankEnergy(dev, ep, 1000000, 0);
+    const auto idle = rankEnergy(dev, ep, TickDelta{1000000}, 0);
     EXPECT_DOUBLE_EQ(idle.actPreNj, 0.0);
     EXPECT_GT(idle.backgroundNj, 0.0);
 
     BankAddr a{0, 0, 1, 0};
-    dev.issueAct(a, 0);
-    dev.issueCol(a, false, dev.earliestCol(a, false, 0));
-    const auto active = rankEnergy(dev, ep, 1000000, 1);
+    dev.issueAct(a, Tick{});
+    dev.issueCol(a, false, dev.earliestCol(a, false, Tick{}));
+    const auto active = rankEnergy(dev, ep, TickDelta{1000000}, 1);
     EXPECT_GT(active.actPreNj, 0.0);
     EXPECT_GT(active.rdWrCoreNj, 0.0);
     EXPECT_GT(active.ioNj, 0.0);
@@ -354,7 +354,7 @@ TEST(DeviceInvariants, ColumnToClosedRowPanics)
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     RankDevice dev(timing(), smallOrg());
     const BankAddr a{0, 0, 5, 0};
-    EXPECT_DEATH(dev.issueCol(a, false, 100),
+    EXPECT_DEATH(dev.issueCol(a, false, Tick{100}),
                  "column command to a closed/incorrect row");
 }
 
@@ -363,11 +363,12 @@ TEST(DeviceInvariants, ColumnToWrongRowPanics)
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     RankDevice dev(timing(), smallOrg());
     const BankAddr opened{0, 0, 5, 0};
-    dev.issueAct(opened, dev.earliestAct(opened, 0));
+    dev.issueAct(opened, dev.earliestAct(opened, Tick{}));
     const BankAddr wrong{0, 0, 6, 0};
-    EXPECT_DEATH(dev.issueCol(wrong, false,
-                              dev.earliestCol(wrong, false, 1000000)),
-                 "closed/incorrect row");
+    EXPECT_DEATH(
+        dev.issueCol(wrong, false,
+                     dev.earliestCol(wrong, false, Tick{1000000})),
+        "closed/incorrect row");
 }
 
 TEST(DeviceInvariants, ActOnOpenBankPanics)
@@ -375,9 +376,9 @@ TEST(DeviceInvariants, ActOnOpenBankPanics)
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     RankDevice dev(timing(), smallOrg());
     const BankAddr a{0, 0, 5, 0};
-    dev.issueAct(a, dev.earliestAct(a, 0));
+    dev.issueAct(a, dev.earliestAct(a, Tick{}));
     const BankAddr other_row{0, 0, 9, 0};
-    EXPECT_DEATH(dev.issueAct(other_row, 1000000),
+    EXPECT_DEATH(dev.issueAct(other_row, Tick{1000000}),
                  "ACT to a bank with an open row");
 }
 
@@ -387,11 +388,12 @@ TEST(DeviceInvariants, ActTimingViolationPanics)
     const TimingParams tp = timing();
     RankDevice dev(tp, smallOrg());
     const BankAddr a{0, 0, 5, 0};
-    dev.issueAct(a, dev.earliestAct(a, 0));
-    dev.issuePre(a, dev.earliestPre(a, tp.cycles(tp.tRAS)));
+    dev.issueAct(a, dev.earliestAct(a, Tick{}));
+    dev.issuePre(a, dev.earliestPre(a, Tick{} + tp.cycles(tp.tRAS)));
     // Re-activating before tRP after the precharge violates timing.
-    EXPECT_DEATH(dev.issueAct(a, dev.earliestAct(a, 0) - 1),
-                 "ACT timing violation");
+    EXPECT_DEATH(
+        dev.issueAct(a, dev.earliestAct(a, Tick{}) - TickDelta{1}),
+        "ACT timing violation");
 }
 
 } // namespace

@@ -25,12 +25,12 @@ TEST(EventQueue, RunsInTimeOrder)
 {
     EventQueue eq;
     std::vector<Tick> seen;
-    eq.schedule(30, [&] { seen.push_back(30); });
-    eq.schedule(10, [&] { seen.push_back(10); });
-    eq.schedule(20, [&] { seen.push_back(20); });
+    eq.schedule(Tick{30}, [&] { seen.push_back(Tick{30}); });
+    eq.schedule(Tick{10}, [&] { seen.push_back(Tick{10}); });
+    eq.schedule(Tick{20}, [&] { seen.push_back(Tick{20}); });
     eq.run();
-    EXPECT_EQ(seen, (std::vector<Tick>{10, 20, 30}));
-    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(seen, (std::vector<Tick>{Tick{10}, Tick{20}, Tick{30}}));
+    EXPECT_EQ(eq.now(), Tick{30});
     EXPECT_EQ(eq.pending(), 0u);
 }
 
@@ -40,10 +40,10 @@ TEST(EventQueue, SameTickPriorityThenInsertionOrder)
     std::string order;
     // All at tick 100: priority breaks ties first, then insertion
     // order. This exact order is what makes replays bit-identical.
-    eq.schedule(100, [&] { order += 'c'; }, 1);
-    eq.schedule(100, [&] { order += 'a'; }, -1);
-    eq.schedule(100, [&] { order += 'd'; }, 1);
-    eq.schedule(100, [&] { order += 'b'; }, 0);
+    eq.schedule(Tick{100}, [&] { order += 'c'; }, 1);
+    eq.schedule(Tick{100}, [&] { order += 'a'; }, -1);
+    eq.schedule(Tick{100}, [&] { order += 'd'; }, 1);
+    eq.schedule(Tick{100}, [&] { order += 'b'; }, 0);
     eq.run();
     EXPECT_EQ(order, "abcd");
 }
@@ -54,11 +54,11 @@ TEST(EventQueue, InsertionOrderStableAcrossInterleavedScheduling)
     // insertion) ordering relative to already-pending events.
     EventQueue eq;
     std::string order;
-    eq.schedule(10, [&] {
+    eq.schedule(Tick{10}, [&] {
         order += 'a';
-        eq.schedule(20, [&] { order += 'x'; });
+        eq.schedule(Tick{20}, [&] { order += 'x'; });
     });
-    eq.schedule(20, [&] { order += 'b'; });
+    eq.schedule(Tick{20}, [&] { order += 'b'; });
     eq.run();
     EXPECT_EQ(order, "abx");
 }
@@ -67,10 +67,10 @@ TEST(EventQueue, SchedulingInThePastPanics)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     EventQueue eq;
-    eq.schedule(50, [] {});
+    eq.schedule(Tick{50}, [] {});
     eq.run();
-    ASSERT_EQ(eq.now(), 50u);
-    EXPECT_DEATH(eq.schedule(10, [] {}), "scheduling in the past");
+    ASSERT_EQ(eq.now(), Tick{50});
+    EXPECT_DEATH(eq.schedule(Tick{10}, [] {}), "scheduling in the past");
 }
 
 TEST(EventQueue, DescheduleUnknownHandleDies)
@@ -78,7 +78,7 @@ TEST(EventQueue, DescheduleUnknownHandleDies)
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     setAuditEnabled(true);
     EventQueue eq;
-    eq.schedule(5, [] {});
+    eq.schedule(Tick{5}, [] {});
     EXPECT_DEATH(eq.deschedule(7), "unknown handle");
     setAuditEnabled(false);
 }
@@ -87,22 +87,22 @@ TEST(EventQueue, DeschedulePreventsExecution)
 {
     EventQueue eq;
     bool ran = false;
-    const auto id = eq.schedule(10, [&] { ran = true; });
-    eq.schedule(5, [&, id] { eq.deschedule(id); });
+    const auto id = eq.schedule(Tick{10}, [&] { ran = true; });
+    eq.schedule(Tick{5}, [&, id] { eq.deschedule(id); });
     eq.run();
     EXPECT_FALSE(ran);
-    EXPECT_EQ(eq.now(), 5u);
+    EXPECT_EQ(eq.now(), Tick{5});
 }
 
 TEST(EventQueue, StepExecutesExactlyOne)
 {
     EventQueue eq;
     int count = 0;
-    eq.schedule(1, [&] { ++count; });
-    eq.schedule(2, [&] { ++count; });
+    eq.schedule(Tick{1}, [&] { ++count; });
+    eq.schedule(Tick{2}, [&] { ++count; });
     EXPECT_TRUE(eq.step());
     EXPECT_EQ(count, 1);
-    EXPECT_EQ(eq.now(), 1u);
+    EXPECT_EQ(eq.now(), Tick{1});
     EXPECT_TRUE(eq.step());
     EXPECT_FALSE(eq.step());
     EXPECT_EQ(count, 2);
@@ -111,14 +111,14 @@ TEST(EventQueue, StepExecutesExactlyOne)
 TEST(EventQueue, ResetRestartsClock)
 {
     EventQueue eq;
-    eq.schedule(42, [] {});
+    eq.schedule(Tick{42}, [] {});
     eq.run();
     eq.reset();
-    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.now(), Tick{});
     EXPECT_EQ(eq.pending(), 0u);
     // Post-reset, early ticks are schedulable again.
     bool ran = false;
-    eq.schedule(1, [&] { ran = true; });
+    eq.schedule(Tick{1}, [&] { ran = true; });
     eq.run();
     EXPECT_TRUE(ran);
 }
@@ -127,9 +127,9 @@ TEST(EventQueue, RunHonorsLimit)
 {
     EventQueue eq;
     int count = 0;
-    eq.schedule(10, [&] { ++count; });
-    eq.schedule(20, [&] { ++count; });
-    eq.run(15);
+    eq.schedule(Tick{10}, [&] { ++count; });
+    eq.schedule(Tick{20}, [&] { ++count; });
+    eq.run(Tick{15});
     EXPECT_EQ(count, 1);
     EXPECT_EQ(eq.pending(), 1u);
     eq.run();
@@ -143,13 +143,14 @@ TEST(EventQueue, OverflowTierCrossingsExecuteInOrder)
     // day repeatedly jumps past the ring's reach.
     EventQueue eq;
     std::vector<int> seen;
+    const TickDelta stride = EventQueue::kHorizonTicks + TickDelta{7};
     for (const int i : {4, 1, 5, 2, 3}) {
-        eq.schedule(static_cast<Tick>(i) * (EventQueue::kHorizonTicks + 7),
+        eq.schedule(Tick{} + static_cast<std::uint64_t>(i) * stride,
                     [&seen, i] { seen.push_back(i); });
     }
     eq.run();
     EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4, 5}));
-    EXPECT_EQ(eq.now(), 5 * (EventQueue::kHorizonTicks + 7));
+    EXPECT_EQ(eq.now(), Tick{} + 5 * stride);
     EXPECT_EQ(eq.pending(), 0u);
 }
 
@@ -161,12 +162,14 @@ TEST(EventQueue, FarFutureSameTickTiesKeepPriorityAndInsertionOrder)
     // order must hold regardless of the tier each traversed.
     EventQueue eq;
     std::string order;
-    const Tick far = 2 * EventQueue::kHorizonTicks + 12345;
+    const Tick far = Tick{} + 2 * EventQueue::kHorizonTicks +
+                     TickDelta{12345};
     eq.schedule(far, [&order] { order += 'a'; });
-    eq.schedule(EventQueue::kHorizonTicks + 5, [&eq, &order, far] {
+    eq.schedule(Tick{} + EventQueue::kHorizonTicks + TickDelta{5},
+                [&eq, &order, far] {
         order += 'x';
         eq.schedule(far, [&order] { order += 'c'; }, 1);
-    });
+                });
     eq.schedule(far, [&order] { order += 'b'; });
     eq.run();
     EXPECT_EQ(order, "xabc");
@@ -183,7 +186,7 @@ TEST(EventQueue, DescheduleStressReleasesPendingImmediately)
     std::vector<std::uint64_t> ids;
     ids.reserve(kN);
     for (std::size_t i = 0; i < kN; ++i) {
-        ids.push_back(eq.schedule(1 + (i % 1000) * 100,
+        ids.push_back(eq.schedule(Tick{1 + (i % 1000) * 100},
                                   [&executed] { ++executed; }));
     }
     ASSERT_EQ(eq.pending(), kN);
@@ -199,8 +202,8 @@ TEST(EventQueue, DoubleDescheduleCountsOnce)
 {
     EventQueue eq;
     bool ran = false;
-    eq.schedule(1, [&ran] { ran = true; });
-    const auto id = eq.schedule(2, [] {});
+    eq.schedule(Tick{1}, [&ran] { ran = true; });
+    const auto id = eq.schedule(Tick{2}, [] {});
     eq.deschedule(id);
     eq.deschedule(id); // second cancel of the same handle: no-op
     EXPECT_EQ(eq.pending(), 1u);
@@ -212,12 +215,12 @@ TEST(EventQueue, DoubleDescheduleCountsOnce)
 TEST(EventQueue, StaleHandleAfterExecutionIsANoOp)
 {
     EventQueue eq;
-    const auto stale = eq.schedule(1, [] {});
+    const auto stale = eq.schedule(Tick{1}, [] {});
     eq.run();
     // The next schedule reuses the released slot; the old handle's
     // generation no longer matches and must not cancel it.
     bool ran = false;
-    eq.schedule(2, [&ran] { ran = true; });
+    eq.schedule(Tick{2}, [&ran] { ran = true; });
     eq.deschedule(stale);
     eq.run();
     EXPECT_TRUE(ran);
@@ -244,18 +247,19 @@ struct ParityDriver
     {
     }
 
-    Tick
+    TickDelta
     draw()
     {
         switch (rng.below(4)) {
           case 0:
-            return rng.below(4); // same-tick collisions
+            return TickDelta{rng.below(4)}; // same-tick collisions
           case 1:
-            return rng.below(2000); // current/next day
+            return TickDelta{rng.below(2000)}; // current/next day
           case 2:
-            return rng.below(100000); // calendar ring
+            return TickDelta{rng.below(100000)}; // calendar ring
           default: // overflow tier
-            return EventQueue::kHorizonTicks + rng.below(1u << 20);
+            return EventQueue::kHorizonTicks +
+                   TickDelta{rng.below(1u << 20)};
         }
     }
 
@@ -263,7 +267,7 @@ struct ParityDriver
     spawn()
     {
         const unsigned label = scheduled++;
-        const Tick delta = draw();
+        const TickDelta delta = draw();
         const int prio = static_cast<int>(rng.below(3)) - 1;
         handles.push_back(q.scheduleIn(
             delta, [this, label] { fire(label); }, prio));
@@ -358,23 +362,23 @@ TEST(InlineFunction, DestroysCaptureExactlyOnce)
 TEST(Clocked, ConversionsAndEdges)
 {
     EventQueue eq;
-    Clocked c(eq, 833); // ~1.2 GHz in ps
-    EXPECT_EQ(c.cyclesToTicks(0), 0u);
-    EXPECT_EQ(c.cyclesToTicks(3), 2499u);
-    EXPECT_EQ(c.ticksToCycles(1), 1u);
-    EXPECT_EQ(c.ticksToCycles(833), 1u);
-    EXPECT_EQ(c.ticksToCycles(834), 2u);
-    EXPECT_EQ(c.nextEdge(), 0u);
-    eq.schedule(1, [] {});
+    Clocked c(eq, TickDelta{833}); // ~1.2 GHz in ps
+    EXPECT_EQ(c.cyclesToTicks(0), TickDelta{});
+    EXPECT_EQ(c.cyclesToTicks(3), TickDelta{2499});
+    EXPECT_EQ(c.ticksToCycles(TickDelta{1}), 1u);
+    EXPECT_EQ(c.ticksToCycles(TickDelta{833}), 1u);
+    EXPECT_EQ(c.ticksToCycles(TickDelta{834}), 2u);
+    EXPECT_EQ(c.nextEdge(), Tick{});
+    eq.schedule(Tick{1}, [] {});
     eq.run();
-    EXPECT_EQ(c.nextEdge(), 833u);
+    EXPECT_EQ(c.nextEdge(), Tick{833});
 }
 
 TEST(Clocked, ZeroPeriodPanics)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     EventQueue eq;
-    EXPECT_DEATH(Clocked(eq, 0), "zero period");
+    EXPECT_DEATH(Clocked(eq, TickDelta{0}), "zero period");
 }
 
 } // namespace

@@ -93,7 +93,7 @@ fig06Rows()
             rows.push_back(fmt(
                 "fig06 %s %s makespan_ps=%llu comparisons=%llu",
                 anns::datasetSpec(id).name.c_str(), designName(d),
-                static_cast<unsigned long long>(rs.makespan),
+                static_cast<unsigned long long>(rs.makespan.raw()),
                 static_cast<unsigned long long>(comparisons)));
         }
     }
@@ -114,7 +114,7 @@ fig08Rows()
             SystemModel model(cfg, *ctx.dataset().base,
                               ctx.dataset().metric(), &ctx.profile(),
                               ctx.hotVectors());
-            const std::uint64_t ms = model.run(traces).makespan;
+            const std::uint64_t ms = model.run(traces).makespan.raw();
             (d == Design::kCpuBase ? base : etopt) = ms;
         }
         rows.push_back(fmt("fig08 sift ef=%zu recall=%.4f "

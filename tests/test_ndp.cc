@@ -42,7 +42,7 @@ TEST(NdpUnit, SingleTaskLatency)
     const dram::TimingParams tp;
     NdpUnit unit(eq, NdpParams{}, tp, smallOrg(), 0);
 
-    Tick done = 0;
+    Tick done{};
     NdpTask t;
     t.startLine = 0;
     t.lines = 1;
@@ -52,10 +52,10 @@ TEST(NdpUnit, SingleTaskLatency)
 
     // Lookup + closed-page read + compute (2 cycles + bound check).
     const NdpParams np;
-    const Tick expect = np.period() * np.qshrLookupCycles +
-                        tp.cycles(tp.tRCD + tp.tCL + tp.tBL) +
-                        np.period() * 3;
-    EXPECT_EQ(done, expect);
+    const TickDelta expect = np.period() * np.qshrLookupCycles +
+                             tp.cycles(tp.tRCD + tp.tCL + tp.tBL) +
+                             np.period() * 3;
+    EXPECT_EQ(done, Tick{} + expect);
     EXPECT_EQ(unit.linesFetched(), 1u);
     EXPECT_EQ(unit.tasksCompleted(), 1u);
 }
@@ -132,10 +132,10 @@ TEST(PollingEstimator, ExpectationFromDistribution)
 {
     // 50% of tasks fetch 1 line, 50% fetch 3.
     const std::vector<double> dist = {0.0, 0.5, 0.0, 0.5};
-    PollingEstimator est(dist, 100, 10);
+    PollingEstimator est(dist, TickDelta{100}, TickDelta{10});
     EXPECT_DOUBLE_EQ(est.expectedLines(), 2.0);
-    EXPECT_EQ(est.expectedLatency(1), 210u);
-    EXPECT_EQ(est.expectedLatency(4), 840u);
+    EXPECT_EQ(est.expectedLatency(1), TickDelta{210});
+    EXPECT_EQ(est.expectedLatency(4), TickDelta{840});
 }
 
 TEST(Polling, ModeNames)
@@ -153,10 +153,10 @@ TEST(HostCpu, ComputeAdvancesTime)
     dram::OrgParams org;
     cpu::HostCpu host(eq, hp, tp, org);
 
-    Tick done = 0;
+    Tick done{};
     host.compute(100, [&] { done = eq.now(); });
     eq.run();
-    EXPECT_EQ(done, 100 * hp.period());
+    EXPECT_EQ(done, Tick{} + 100 * hp.period());
     EXPECT_EQ(host.computeBusy(), 100 * hp.period());
 }
 
@@ -168,14 +168,14 @@ TEST(HostCpu, CachedReadsAreFasterThanMisses)
     dram::OrgParams org;
     cpu::HostCpu host(eq, hp, tp, org);
 
-    Tick first = 0, second = 0;
+    Tick first{}, second{};
     host.read(0x1000, 1, [&] {
         first = eq.now();
         host.read(0x1000, 1, [&] { second = eq.now(); });
     });
     eq.run();
-    EXPECT_GT(first, 0u);
-    EXPECT_LT(second - first, first);
+    EXPECT_GT(first, Tick{});
+    EXPECT_LT(second - first, first - Tick{});
 }
 
 TEST(HostCpu, MultiLineReadsOverlap)
@@ -187,10 +187,10 @@ TEST(HostCpu, MultiLineReadsOverlap)
         sim::EventQueue eq;
         cpu::HostParams hp;
         cpu::HostCpu host(eq, hp, tp, org);
-        Tick done = 0;
+        Tick done{};
         host.read(1 << 20, lines, [&] { done = eq.now(); });
         eq.run();
-        return done;
+        return done - Tick{};
     };
 
     // 8 parallel line fetches must take far less than 8 serial ones.
@@ -368,7 +368,7 @@ TEST(NdpUnitInvariants, SubmitToBadQshrPanics)
 TEST(PollingInvariants, EmptyDistributionPanics)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-    EXPECT_DEATH(PollingEstimator({}, 100, 100),
+    EXPECT_DEATH(PollingEstimator({}, TickDelta{100}, TickDelta{100}),
                  "needs a fetch-count distribution");
 }
 
@@ -378,8 +378,9 @@ TEST(PollingInvariants, UnnormalizedDistributionFailsAudit)
     setAuditEnabled(true);
     // Mass 1.5: a distribution this broken would silently skew every
     // adaptive-polling prediction.
-    EXPECT_DEATH(PollingEstimator({0.5, 1.0}, 100, 100),
-                 "distribution mass");
+    EXPECT_DEATH(
+        PollingEstimator({0.5, 1.0}, TickDelta{100}, TickDelta{100}),
+        "distribution mass");
     setAuditEnabled(false);
 }
 

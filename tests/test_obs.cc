@@ -133,9 +133,9 @@ TEST(TraceWriterTest, DisabledWithoutEnv)
     auto &tw = TraceWriter::instance();
     EXPECT_FALSE(tw.enabled());
     tw.beginRun("test-run");
-    tw.span("noop", 0, 0, 10);
-    tw.counter("noop", 0, 0, 1);
-    tw.instant("noop", 0, 0);
+    tw.span("noop", 0, Tick{}, Tick{10});
+    tw.counter("noop", 0, Tick{}, 1);
+    tw.instant("noop", 0, Tick{});
     tw.flush();
     EXPECT_EQ(tw.dropped(), 0u);
 }

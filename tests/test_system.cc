@@ -89,7 +89,7 @@ TEST_P(AllDesignsTest, CompletesAllQueriesWithSaneStats)
     const Fixture &f = fixture();
 
     ASSERT_EQ(rs.queries.size(), f.traces.size());
-    EXPECT_GT(rs.makespan, 0u);
+    EXPECT_GT(rs.makespan, TickDelta{});
     EXPECT_GT(rs.energy.totalNj(), 0.0);
 
     std::size_t comparisons = 0;
@@ -100,10 +100,10 @@ TEST_P(AllDesignsTest, CompletesAllQueriesWithSaneStats)
     EXPECT_GT(totals.linesEffectual + totals.linesIneffectual, 0u);
 
     for (const auto &q : rs.queries) {
-        EXPECT_GT(q.latency(), 0u);
+        EXPECT_GT(q.latency(), TickDelta{});
         EXPECT_LE(q.start, q.end);
-        EXPECT_GT(q.traversal, 0u);
-        EXPECT_GT(q.distComp, 0u);
+        EXPECT_GT(q.traversal, TickDelta{});
+        EXPECT_GT(q.distComp, TickDelta{});
     }
 }
 
@@ -174,8 +174,8 @@ TEST(System, PollingModesOrdering)
 
     // Ideal has zero collection cost; adaptive must not lose to the
     // fixed 100 ns interval; both are upper-bounded by ideal.
-    EXPECT_EQ(ideal.totals().collect, 0u);
-    EXPECT_GT(conv.totals().collect, 0u);
+    EXPECT_EQ(ideal.totals().collect, TickDelta{});
+    EXPECT_GT(conv.totals().collect, TickDelta{});
     EXPECT_LE(adaptive.totals().collect, conv.totals().collect);
     EXPECT_LE(ideal.makespan, adaptive.makespan);
 }

@@ -3,7 +3,7 @@
 
 ANSMET's figures depend on bitwise-deterministic replay, and its
 locking contracts are enforced at compile time through the annotated
-wrappers in src/common/sync.h. This linter statically proves the two
+wrappers in src/common/sync.h. This linter statically proves the
 conventions that neither the compiler nor clang-tidy checks:
 
   R1  ansmet-determinism   No nondeterminism source in the simulator-
@@ -33,19 +33,47 @@ conventions that neither the compiler nor clang-tidy checks:
                            (an InlineFunction with a compile-enforced
                            capture budget); std::function would put its
                            capture back on the heap per event.
+  R6  ansmet-tickunits     No raw integer literal as the time argument
+                           of schedule()/scheduleIn() or the DRAM
+                           timing-legality calls (earliestAct/issueAct/
+                           earliestPre/issuePre/earliestCol/issueCol/
+                           catchUpRefresh) in the simulator-hot
+                           directories: simulated times are sim::Tick /
+                           sim::TickDelta, and a bare literal bypasses
+                           the unit check the strong types exist for.
+  R7  ansmet-lockorder     The static lock-acquisition graph must be
+                           acyclic. Scoped acquisitions (MutexLock /
+                           ReaderLock / WriterLock from common/sync.h,
+                           plus ANSMET_REQUIRES preconditions) are
+                           collected per function, propagated through
+                           direct calls, and any cycle in the resulting
+                           order graph is reported with its full path —
+                           a cycle is a latent deadlock even if today's
+                           schedules never interleave it.
+  R8  ansmet-danglecapture A callback handed to schedule()/scheduleIn()
+                           or stored in an onComplete field
+                           (dram::Request, ndp::NdpTask) runs after the
+                           enclosing frame is gone, so its lambda must
+                           not capture by reference ([&], [&x],
+                           [&x = ...]); capture by value or [this].
 
 Suppression: a finding is waived by `// NOLINT(<rule>): reason` on the
 same line or `// NOLINTNEXTLINE(<rule>): reason` on the line above,
-using the rule names in the middle column. R3 itself validates those
-comments, so a suppression can never be silent.
+using the rule names in the middle column (for R7, on the acquisition
+or call line that contributes the unwanted edge). R3 itself validates
+those comments, so a suppression can never be silent.
 
 Engines: with the libclang Python bindings installed (python3-clang)
-the file is tokenized by clang itself, driven by the build tree's
-compile_commands.json; without them a built-in lexer produces the same
-token stream (the rules are token-level, so findings are identical).
-`--engine libclang` makes libclang mandatory and SKIPS with exit 0
-when it is absent, mirroring tools/run_tidy.sh's behavior when
-clang-tidy is missing.
+each file is parsed by clang itself, driven by the build tree's
+compile_commands.json; the structural rules then run over clang's
+token stream and a cursor-visitation pass over the AST prunes any
+finding the AST disproves (wrong call resolution, a bracket that is
+not a lambda). Without the bindings a built-in lexer produces the same
+unified token stream and every rule — including R6/R7/R8 — runs on the
+structural analysis alone, so lexical-engine findings are always a
+superset of libclang-engine findings. `--engine libclang` makes
+libclang mandatory and SKIPS with exit 0 when it is absent, mirroring
+tools/run_tidy.sh's behavior when clang-tidy is missing.
 
 Exit status: 0 clean (or skipped), 1 findings, 2 usage error.
 """
@@ -98,11 +126,35 @@ BANNED_SYNC = {
 }
 SYNC_EXEMPT_SUFFIX = os.path.join("src", "common", "sync.h")
 
-# R5: directories whose schedule()/scheduleIn() calls are hot enough
-# that a std::function argument (heap-allocating capture) is a bug.
+# R5/R6/R8: directories whose schedule()/scheduleIn() calls sit on the
+# simulated hot path.
 SIM_HOT_DIRS = ("src/sim", "src/ndp", "src/dram", "src/cpu", "src/core",
                 "src/cache")
 SCHEDULE_CALLS = ("schedule", "scheduleIn")
+
+# R6: call name -> zero-based index of its Tick/TickDelta argument.
+# The schedule() priority argument and DRAM bank-address/is_write
+# arguments are deliberately NOT covered: only the time slot is
+# unit-typed.
+TIME_ARG_CALLS = {
+    "schedule": 0,
+    "scheduleIn": 0,
+    "catchUpRefresh": 0,
+    "earliestAct": 1,
+    "earliestPre": 1,
+    "issueAct": 1,
+    "issuePre": 1,
+    "earliestCol": 2,
+    "issueCol": 2,
+}
+
+# R7: the scoped-capability RAII classes from src/common/sync.h.
+LOCK_CLASSES = {"MutexLock", "ReaderLock", "WriterLock"}
+REQUIRES_MACROS = {"ANSMET_REQUIRES", "ANSMET_REQUIRES_SHARED"}
+
+# R8: struct fields holding completion callbacks that outlive the
+# assigning frame (dram::Request::onComplete, ndp::NdpTask::onComplete).
+CALLBACK_FIELDS = {"onComplete"}
 
 RULES = {
     "R1": "ansmet-determinism",
@@ -110,6 +162,9 @@ RULES = {
     "R3": "ansmet-nolint",
     "R4": "ansmet-rawsync",
     "R5": "ansmet-eventcapture",
+    "R6": "ansmet-tickunits",
+    "R7": "ansmet-lockorder",
+    "R8": "ansmet-danglecapture",
 }
 
 NOLINT_RE = re.compile(
@@ -168,7 +223,14 @@ def lex_tokens(text):
         elif text.startswith("//", i):
             j = text.find("\n", i)
             j = n if j < 0 else j
+            # A backslash immediately before the newline (phase-2 line
+            # splice) continues the comment onto the next line.
+            while j < n and (text[j - 1] == "\\" or
+                             text[j - 2:j] == "\\\r"):
+                j = text.find("\n", j + 1)
+                j = n if j < 0 else j
             tokens.append(Token("comment", text[i:j], line))
+            line += text.count("\n", i, j)
             i = j
         elif text.startswith("/*", i):
             j = text.find("*/", i + 2)
@@ -178,8 +240,20 @@ def lex_tokens(text):
             line += body.count("\n")
             i = j + 2
         elif c == '"':
-            if text.startswith('R"', i - 1) and i >= 1:
-                pass  # handled via the R branch below
+            # Defense in depth: if this quote opens a raw string whose
+            # `R` prefix was consumed by an earlier token (possible
+            # only after a lexing desync), honor the )delim" close
+            # instead of stopping at the next bare quote.
+            raw = (re.match(r'"([^()\\\s]{0,16})\(', text[i:])
+                   if i >= 1 and text[i - 1] == "R" else None)
+            if raw:
+                close = f"){raw.group(1)}\""
+                end = text.find(close, i)
+                end = n if end < 0 else end + len(close)
+                tokens.append(Token("literal", text[i:end], line))
+                line += text.count("\n", i, end)
+                i = end
+                continue
             j = i + 1
             while j < n and text[j] != '"':
                 j += 2 if text[j] == "\\" else 1
@@ -212,9 +286,16 @@ def lex_tokens(text):
             i = j
         elif c.isdigit():
             j = i + 1
-            while j < n and (text[j] in _ID_CONT or text[j] in ".+-'"
-                             and text[j - 1] in "eEpP'"):
-                j += 1
+            while j < n:
+                ch = text[j]
+                if ch in _ID_CONT or ch == ".":
+                    j += 1
+                elif ch == "'" and j + 1 < n and text[j + 1] in _ID_CONT:
+                    j += 2  # digit separator, e.g. 5'000
+                elif ch in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
             tokens.append(Token("literal", text[i:j], line))
             i = j
         else:
@@ -224,7 +305,8 @@ def lex_tokens(text):
 
 
 # --------------------------------------------------------------------
-# libclang engine: same token stream, produced by clang's lexer.
+# libclang engine: the same token stream, produced by clang's lexer,
+# plus the translation unit for the AST refinement pass.
 # --------------------------------------------------------------------
 
 def try_import_libclang():
@@ -261,10 +343,13 @@ def compile_args_for(path, compdb_dir):
     return fallback or ["-std=c++20"]
 
 
-def clang_tokens(cindex, path, text, args):
-    tu = cindex.TranslationUnit.from_source(
+def clang_parse(cindex, path, text, args):
+    return cindex.TranslationUnit.from_source(
         path, args=args, unsaved_files=[(path, text)],
         options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+
+
+def clang_tokens(cindex, tu, path):
     kinds = cindex.TokenKind
     out = []
     for tok in tu.get_tokens(extent=tu.cursor.extent):
@@ -285,6 +370,56 @@ def clang_tokens(cindex, path, text, args):
             for ch in spelling:
                 out.append(Token("punct", ch, line))
     return out
+
+
+def ast_refine(cindex, tu, findings):
+    """Cursor-visitation refinement (libclang engine only).
+
+    Walks the AST and drops structural findings the AST disproves:
+    an R6 finding whose time argument actually references a variable
+    or call, and an R8 finding on a line no lambda expression spans.
+    The pass only ever REMOVES findings, so the lexical engine stays a
+    strict superset, and it bails out wholesale when the translation
+    unit did not parse cleanly (a broken AST proves nothing).
+    """
+    try:
+        if any(d.severity >= cindex.Diagnostic.Error
+               for d in tu.diagnostics):
+            return findings
+        kinds = cindex.CursorKind
+        value_ref_kinds = {kinds.DECL_REF_EXPR, kinds.MEMBER_REF_EXPR,
+                           kinds.CALL_EXPR}
+        r6_disproved = set()
+        lambda_lines = set()
+        for cur in tu.cursor.walk_preorder():
+            loc = cur.location
+            if loc.file is None or loc.file.name != tu.spelling:
+                continue
+            if cur.kind == kinds.LAMBDA_EXPR:
+                ext = cur.extent
+                lambda_lines.update(
+                    range(ext.start.line, ext.end.line + 1))
+            elif (cur.kind == kinds.CALL_EXPR and
+                  cur.spelling in TIME_ARG_CALLS):
+                k = TIME_ARG_CALLS[cur.spelling]
+                args = list(cur.get_arguments())
+                if k >= len(args):
+                    continue
+                seen = {c.kind for c in args[k].walk_preorder()}
+                if seen & value_ref_kinds:
+                    ext = args[k].extent
+                    r6_disproved.update(
+                        range(ext.start.line, ext.end.line + 1))
+        kept = []
+        for f in findings:
+            if f.rule == "R6" and f.line in r6_disproved:
+                continue
+            if f.rule == "R8" and f.line not in lambda_lines:
+                continue
+            kept.append(f)
+        return kept
+    except Exception:
+        return findings
 
 
 # --------------------------------------------------------------------
@@ -318,7 +453,57 @@ def is_waived(waived, rule_name, line):
 
 
 # --------------------------------------------------------------------
-# Rule implementations (token-level; shared by both engines)
+# Structural helpers shared by the R6/R7/R8 analyses
+# --------------------------------------------------------------------
+
+def code_tokens(tokens):
+    return [t for t in tokens if t.kind in ("id", "kw", "punct",
+                                            "literal")]
+
+
+def skip_balanced(code, i, open_s, close_s):
+    """code[i] must be open_s; return the index just past its matching
+    close_s, or None when unbalanced."""
+    depth = 0
+    n = len(code)
+    while i < n:
+        s = code[i].spelling
+        if s == open_s:
+            depth += 1
+        elif s == close_s:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return None
+
+
+def split_top_commas(arg_tokens):
+    """Split an argument token slice at depth-zero commas."""
+    args = []
+    cur = []
+    depth = 0
+    for t in arg_tokens:
+        s = t.spelling
+        if s in "([{":
+            depth += 1
+        elif s in ")]}":
+            depth -= 1
+        if s == "," and depth == 0:
+            args.append(cur)
+            cur = []
+        else:
+            cur.append(t)
+    args.append(cur)
+    return args
+
+
+def render_expr(expr_tokens):
+    return "".join(t.spelling for t in expr_tokens)
+
+
+# --------------------------------------------------------------------
+# Rule implementations R1-R5 (token-level; shared by both engines)
 # --------------------------------------------------------------------
 
 def path_in(path, prefixes):
@@ -358,8 +543,7 @@ def check_determinism(path, tokens, waived, findings):
 
 
 def check_raw_new_delete(path, tokens, waived, findings):
-    code = [t for t in tokens if t.kind in ("id", "kw", "punct",
-                                            "literal")]
+    code = code_tokens(tokens)
     for idx, tok in enumerate(code):
         if tok.kind != "kw" or tok.spelling not in ("new", "delete"):
             continue
@@ -474,7 +658,462 @@ def check_event_capture(path, tokens, waived, findings):
             j += 1
 
 
+# --------------------------------------------------------------------
+# R6 ansmet-tickunits: raw integer literals in time arguments
+# --------------------------------------------------------------------
+
+def check_tick_units(path, tokens, waived, findings):
+    if not path_in(path, SIM_HOT_DIRS):
+        return
+    code = code_tokens(tokens)
+    n = len(code)
+    for idx, tok in enumerate(code):
+        if tok.kind != "id" or tok.spelling not in TIME_ARG_CALLS:
+            continue
+        if idx + 1 >= n or code[idx + 1].spelling != "(":
+            continue
+        end = skip_balanced(code, idx + 1, "(", ")")
+        if end is None:
+            continue
+        args = split_top_commas(code[idx + 2:end - 1])
+        k = TIME_ARG_CALLS[tok.spelling]
+        if k >= len(args) or not args[k]:
+            continue
+        arg = args[k]
+        # An identifier anywhere in the argument means the value went
+        # through a name — a Tick{}/TickDelta{} constructor, a typed
+        # variable, or an expression over them. Only a pure-literal
+        # argument (possibly parenthesized / negated) is unit-blind.
+        if any(t.kind in ("id", "kw") for t in arg):
+            continue
+        lits = [t for t in arg
+                if t.kind == "literal" and t.spelling[:1].isdigit()]
+        if not lits:
+            continue
+        lit = lits[0]
+        if is_waived(waived, RULES["R6"], lit.line):
+            continue
+        findings.append(Finding(
+            path, lit.line, "R6",
+            f"raw integer literal '{lit.spelling}' as the time argument "
+            f"of {tok.spelling}(): simulated times are unit-typed; "
+            f"construct a sim::Tick{{...}} / sim::TickDelta{{...}} "
+            f"instead"))
+
+
+# --------------------------------------------------------------------
+# R7 ansmet-lockorder: static lock-acquisition cycle detection
+# --------------------------------------------------------------------
+
+# Keywords that look like `name (` but never head a definition or call
+# worth tracking.
+_CONTROL = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "catch", "throw", "assert", "else",
+    "do", "case", "default", "co_await", "co_return", "co_yield",
+    "alignas", "noexcept", "typeid", "requires",
+}
+
+
+class FuncInfo:
+    __slots__ = ("name", "owner", "path", "acquisitions", "calls",
+                 "requires")
+
+    def __init__(self, name, owner, path):
+        self.name = name  # "Class::method" or bare function name
+        self.owner = owner  # enclosing/qualifying class, or None
+        self.path = path
+        # (lock_id, line, frozenset(locks held at the acquisition))
+        self.acquisitions = []
+        # (callee name, explicit qualifier or None, line,
+        #  frozenset(locks held))
+        self.calls = []
+        self.requires = set()  # ANSMET_REQUIRES locks, held body-wide
+
+
+def _qualify(owner, expr):
+    return f"{owner}::{expr}" if owner else expr
+
+
+def _scan_function_body(code, body_start, owner, func):
+    """Walk one function body collecting scoped-lock acquisitions and
+    every call site with the set of locks held at it. Returns the index
+    just past the closing brace."""
+    n = len(code)
+    i = body_start  # at '{'
+    depth = 0
+    active = []  # (depth at acquisition, lock_id)
+    base = frozenset(func.requires)
+    while i < n:
+        t = code[i]
+        s = t.spelling
+        if s == "{":
+            depth += 1
+            i += 1
+            continue
+        if s == "}":
+            depth -= 1
+            while active and active[-1][0] > depth:
+                active.pop()
+            i += 1
+            if depth == 0:
+                return i
+            continue
+        if (t.kind == "id" and s in LOCK_CLASSES and i + 2 < n and
+                code[i + 1].kind == "id" and
+                code[i + 2].spelling in ("(", "{")):
+            open_s = code[i + 2].spelling
+            close_s = ")" if open_s == "(" else "}"
+            end = skip_balanced(code, i + 2, open_s, close_s)
+            if end is not None:
+                lock_id = _qualify(owner,
+                                   render_expr(code[i + 3:end - 1]))
+                held = base | {lk for _, lk in active}
+                func.acquisitions.append((lock_id, t.line,
+                                          frozenset(held)))
+                active.append((depth, lock_id))
+                i = end
+                continue
+        if (t.kind == "id" and s not in _CONTROL and
+                s not in LOCK_CLASSES and i + 1 < n and
+                code[i + 1].spelling == "("):
+            qual = None
+            keep = True
+            if i >= 1 and code[i - 1].spelling in (".", "->"):
+                # Member call on some object. Only `this->f()` is
+                # resolvable by name; a call through another object
+                # (`obj.load()`, `ptr->find()`) routinely collides
+                # with unrelated project functions, so skip it rather
+                # than poison the graph with false edges.
+                keep = (code[i - 1].spelling == "->" and i >= 2 and
+                        code[i - 2].spelling == "this")
+            elif (i >= 3 and code[i - 1].spelling == ":" and
+                    code[i - 2].spelling == ":" and
+                    code[i - 3].kind == "id" and
+                    code[i - 3].spelling not in ("std",)):
+                qual = code[i - 3].spelling
+            if keep:
+                held = base | {lk for _, lk in active}
+                func.calls.append((s, qual, t.line, frozenset(held)))
+        i += 1
+    return n
+
+
+def parse_lock_functions(path, tokens):
+    """Structural parse of one file: function definitions with their
+    scoped-lock acquisitions, ANSMET_REQUIRES preconditions, and the
+    calls made under held locks. Tolerant by construction — anything it
+    cannot prove to be a function definition is skipped."""
+    code = code_tokens(tokens)
+    n = len(code)
+    funcs = []
+    class_stack = []  # (name, depth inside the class body)
+    depth = 0
+    i = 0
+    while i < n:
+        t = code[i]
+        s = t.spelling
+        if s == "{":
+            depth += 1
+            i += 1
+            continue
+        if s == "}":
+            depth -= 1
+            while class_stack and depth < class_stack[-1][1]:
+                class_stack.pop()
+            i += 1
+            continue
+        if t.kind == "id" and s in ("class", "struct"):
+            name = None
+            j = i + 1
+            while j < n and code[j].spelling not in ("{", ";", ":"):
+                if code[j].spelling == "(":  # attribute macro args
+                    j = skip_balanced(code, j, "(", ")") or n
+                    continue
+                if code[j].kind == "id":
+                    name = code[j].spelling
+                j += 1
+            while j < n and code[j].spelling not in ("{", ";"):
+                j += 1
+            if j < n and code[j].spelling == "{" and name:
+                class_stack.append((name, depth + 1))
+            i += 1
+            continue
+        if (t.kind == "id" and s not in _CONTROL and i + 1 < n and
+                code[i + 1].spelling == "("):
+            parsed = _try_parse_function(path, code, i, class_stack)
+            if parsed is not None:
+                func, next_i = parsed
+                funcs.append(func)
+                i = next_i
+                continue
+        i += 1
+    return funcs
+
+
+def _try_parse_function(path, code, i, class_stack):
+    """Attempt to parse a function definition headed at code[i]
+    (an identifier followed by '('). Returns (FuncInfo, index past the
+    body) or None when this is not a definition."""
+    n = len(code)
+    name = code[i].spelling
+    owner = None
+    if (i >= 3 and code[i - 1].spelling == ":" and
+            code[i - 2].spelling == ":" and code[i - 3].kind == "id"):
+        owner = code[i - 3].spelling
+    elif class_stack:
+        owner = class_stack[-1][0]
+    params_end = skip_balanced(code, i + 1, "(", ")")
+    if params_end is None:
+        return None
+    requires = set()
+    seen_init_colon = False
+    k = params_end
+    while k < n:
+        s = code[k].spelling
+        if s in (";", "}", "="):
+            return None  # declaration, `= default/delete`, initializer
+        if (code[k].kind == "id" and s in REQUIRES_MACROS and
+                k + 1 < n and code[k + 1].spelling == "("):
+            end = skip_balanced(code, k + 1, "(", ")")
+            if end is None:
+                return None
+            for arg in split_top_commas(code[k + 2:end - 1]):
+                if arg:
+                    requires.add(_qualify(owner, render_expr(arg)))
+            k = end
+            continue
+        if s == "(":  # noexcept(...), other annotation macros
+            k = skip_balanced(code, k, "(", ")") or n
+            continue
+        if s == ":":
+            seen_init_colon = True
+            k += 1
+            continue
+        if s == "{":
+            if seen_init_colon and code[k - 1].kind == "id":
+                # Brace member-init inside a ctor init list: b_{2}
+                k = skip_balanced(code, k, "{", "}") or n
+                continue
+            break  # the function body
+        k += 1
+    else:
+        return None
+    func = FuncInfo(f"{owner}::{name}" if owner else name, owner, path)
+    func.requires = requires
+    body_end = _scan_function_body(code, k, owner, func)
+    return func, body_end
+
+
+def check_lock_order(lock_facts, findings):
+    """Global pass: build the lock-order graph across every scanned
+    file and report each cycle once, with its full path.
+
+    lock_facts: list of (path, [FuncInfo], waived-map) triples.
+    """
+    funcs_by_last = {}
+    for _, funcs, _ in lock_facts:
+        for f in funcs:
+            funcs_by_last.setdefault(f.name.split("::")[-1],
+                                     []).append(f)
+
+    def resolve(callee, qual, caller):
+        """Candidate definitions for a call site. An explicit `Foo::`
+        qualifier pins the owner; an unqualified call resolves only to
+        methods of the caller's own class or to free functions —
+        cross-class resolution by bare name is how unrelated functions
+        that happen to share a method name (e.g. `load`) would
+        otherwise pollute the graph."""
+        out = []
+        for g in funcs_by_last.get(callee, ()):
+            if qual is not None:
+                if g.owner == qual:
+                    out.append(g)
+            elif g.owner is None or g.owner == caller.owner:
+                out.append(g)
+        return out
+
+    # Transitive may-acquire sets, propagated through direct calls.
+    every = [f for _, funcs, _ in lock_facts for f in funcs]
+    trans = {id(f): {a[0] for a in f.acquisitions} for f in every}
+    changed = True
+    rounds = 0
+    while changed and rounds < 64:
+        changed = False
+        rounds += 1
+        for f in every:
+            for callee, qual, _, _ in f.calls:
+                for g in resolve(callee, qual, f):
+                    add = trans[id(g)] - trans[id(f)]
+                    if add:
+                        trans[id(f)] |= add
+                        changed = True
+
+    # Edges A -> B: lock B acquired (directly or via a call) while A is
+    # held. Witness: where the edge is introduced.
+    edges = {}  # (A, B) -> (path, line, description)
+    for path, funcs, waived in lock_facts:
+        for f in funcs:
+            for lock, line, held in f.acquisitions:
+                if is_waived(waived, RULES["R7"], line):
+                    continue
+                for a in sorted(held):
+                    if a != lock:
+                        edges.setdefault(
+                            (a, lock),
+                            (path, line, f"{f.name} acquires {lock}"))
+            for callee, qual, line, held in f.calls:
+                if not held or is_waived(waived, RULES["R7"], line):
+                    continue
+                for g in resolve(callee, qual, f):
+                    for lock in sorted(trans[id(g)]):
+                        for a in sorted(held):
+                            if a != lock:
+                                edges.setdefault(
+                                    (a, lock),
+                                    (path, line,
+                                     f"{f.name} calls {g.name} which "
+                                     f"acquires {lock}"))
+
+    adj = {}
+    for (a, b) in edges:
+        adj.setdefault(a, []).append(b)
+    for nbrs in adj.values():
+        nbrs.sort()
+
+    # Iterative coloring DFS; every cycle is reported once, normalized
+    # by rotating its smallest lock to the front.
+    color = {}
+    reported = set()
+
+    def emit(cycle):
+        pivot = cycle.index(min(cycle))
+        norm = tuple(cycle[pivot:] + cycle[:pivot])
+        if norm in reported:
+            return
+        reported.add(norm)
+        ring = list(norm) + [norm[0]]
+        hops = []
+        for a, b in zip(ring, ring[1:]):
+            epath, eline, edesc = edges[(a, b)]
+            hops.append(f"{a} -> {b} [{edesc} at {epath}:{eline}]")
+        first = edges[(ring[0], ring[1])]
+        findings.append(Finding(
+            first[0], first[1], "R7",
+            "lock-order cycle (latent deadlock): "
+            + " -> ".join(ring) + "; " + "; ".join(hops)))
+
+    def dfs(root):
+        stack = [(root, iter(adj.get(root, ())))]
+        path = [root]
+        color[root] = "gray"
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color.get(nxt) == "gray":
+                    emit(path[path.index(nxt):])
+                elif color.get(nxt) is None:
+                    color[nxt] = "gray"
+                    stack.append((nxt, iter(adj.get(nxt, ()))))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = "black"
+                stack.pop()
+                path.pop()
+
+    for node in sorted(adj):
+        if color.get(node) is None:
+            dfs(node)
+
+
+# --------------------------------------------------------------------
+# R8 ansmet-danglecapture: by-reference captures escaping into
+# deferred callbacks
+# --------------------------------------------------------------------
+
+def _callback_sink_ranges(code):
+    """Yield (lo, hi, description) index ranges of code token slices
+    whose lambdas become deferred callbacks: schedule()/scheduleIn()
+    argument lists and the right-hand side of `onComplete = ...`."""
+    n = len(code)
+    for idx, t in enumerate(code):
+        if t.kind != "id":
+            continue
+        if (t.spelling in SCHEDULE_CALLS and idx + 1 < n and
+                code[idx + 1].spelling == "("):
+            end = skip_balanced(code, idx + 1, "(", ")")
+            if end is not None:
+                yield idx + 2, end - 1, f"{t.spelling}()"
+        elif (t.spelling in CALLBACK_FIELDS and idx + 1 < n and
+              code[idx + 1].spelling == "=" and
+              (idx + 2 >= n or code[idx + 2].spelling != "=")):
+            j = idx + 2
+            depth = 0
+            while j < n:
+                s = code[j].spelling
+                if s in "([{":
+                    depth += 1
+                elif s in ")]}":
+                    depth -= 1
+                    if depth < 0:
+                        break
+                elif s == ";" and depth == 0:
+                    break
+                j += 1
+            yield idx + 2, j, f"{t.spelling} assignment"
+
+
+def check_dangle_capture(path, tokens, waived, findings):
+    if not path_in(path, SIM_HOT_DIRS):
+        return
+    code = code_tokens(tokens)
+    for lo, hi, what in _callback_sink_ranges(code):
+        j = lo
+        while j < hi:
+            t = code[j]
+            if t.spelling != "[":
+                j += 1
+                continue
+            prev = code[j - 1] if j > 0 else None
+            # `[` after a value expression is a subscript, not a
+            # lambda introducer.
+            if prev is not None and (prev.kind in ("id", "literal") or
+                                     prev.spelling in (")", "]")):
+                j += 1
+                continue
+            end = skip_balanced(code, j, "[", "]")
+            if end is None:
+                j += 1
+                continue
+            for cap in split_top_commas(code[j + 1:end - 1]):
+                if not cap:
+                    continue
+                bad = None
+                if cap[0].spelling == "&":
+                    if len(cap) == 1:
+                        bad = "the enclosing frame by reference ([&])"
+                    else:
+                        bad = (f"'{cap[1].spelling}' by reference "
+                               f"(&{cap[1].spelling})")
+                if bad and not is_waived(waived, RULES["R8"], t.line):
+                    findings.append(Finding(
+                        path, t.line, "R8",
+                        f"deferred callback in {what} captures {bad}: "
+                        f"the callback runs after the enclosing frame "
+                        f"is gone; capture by value or [this]"))
+            j = end
+
+
+# --------------------------------------------------------------------
+# Per-file rule driver
+# --------------------------------------------------------------------
+
 def lint_file(path, repo_root, tokens):
+    """Run every per-file rule; returns (findings, FuncInfos, waived)
+    so the driver can finish with the cross-file lock-order pass."""
     rel = os.path.relpath(path, repo_root)
     findings = []
     waived = suppressed_lines(tokens)
@@ -483,7 +1122,10 @@ def lint_file(path, repo_root, tokens):
     check_nolint_justified(rel, tokens, findings)
     check_raw_sync(rel, tokens, waived, findings)
     check_event_capture(rel, tokens, waived, findings)
-    return findings
+    check_tick_units(rel, tokens, waived, findings)
+    check_dangle_capture(rel, tokens, waived, findings)
+    funcs = parse_lock_functions(rel, tokens)
+    return findings, funcs, waived
 
 
 # --------------------------------------------------------------------
@@ -511,7 +1153,7 @@ def collect_files(repo_root, paths):
 
 def main(argv=None):
     ap = argparse.ArgumentParser(
-        description="ANSMET determinism/style linter (rules R1-R5)")
+        description="ANSMET determinism/style linter (rules R1-R8)")
     ap.add_argument("paths", nargs="*",
                     help="files or directories (default: <repo>/src)")
     ap.add_argument("--repo", default=None,
@@ -548,8 +1190,9 @@ def main(argv=None):
                       file=sys.stderr)
                 return 0
             print("ansmet_lint: libclang python bindings not found; "
-                  "falling back to the built-in lexer (findings are "
-                  "identical for rules R1-R5)", file=sys.stderr)
+                  "falling back to the built-in lexer (lexical "
+                  "findings are a superset of the AST engine's)",
+                  file=sys.stderr)
 
     files = collect_files(repo_root, args.paths)
     if not files:
@@ -557,6 +1200,7 @@ def main(argv=None):
         return 2
 
     findings = []
+    lock_facts = []
     for path in files:
         try:
             with open(path, encoding="utf-8", errors="replace") as f:
@@ -565,13 +1209,29 @@ def main(argv=None):
             print(f"ansmet_lint: cannot read {path}: {e}",
                   file=sys.stderr)
             return 2
+        tu = None
         if cindex is not None:
-            tokens = clang_tokens(cindex, path, text,
-                                  compile_args_for(path, build_dir))
+            try:
+                tu = clang_parse(cindex, path, text,
+                                 compile_args_for(path, build_dir))
+                tokens = clang_tokens(cindex, tu, path)
+            except Exception as e:
+                print(f"ansmet_lint: libclang failed on {path} ({e}); "
+                      f"using the built-in lexer", file=sys.stderr)
+                tu = None
+                tokens = lex_tokens(text)
         else:
             tokens = lex_tokens(text)
-        findings.extend(lint_file(path, repo_root, tokens))
+        file_findings, funcs, waived = lint_file(path, repo_root,
+                                                 tokens)
+        if tu is not None:
+            file_findings = ast_refine(cindex, tu, file_findings)
+        findings.extend(file_findings)
+        lock_facts.append((os.path.relpath(path, repo_root), funcs,
+                           waived))
+    check_lock_order(lock_facts, findings)
 
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
     for finding in findings:
         print(finding.render())
     engine = "libclang" if cindex is not None else "lexical"

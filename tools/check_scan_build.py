@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Diff Clang Static Analyzer (scan-build) plist output against a
+checked-in baseline.
+
+scan-build's exit status alone is useless as a CI gate for an existing
+tree: any pre-existing diagnostic would permanently fail the job. This
+gate instead keys each diagnostic to a stable identity and fails only
+when a diagnostic appears that is not in tools/scan_build_baseline.txt;
+fixed diagnostics are reported so the baseline can be trimmed.
+
+Usage:
+    python3 tools/check_scan_build.py <plist-dir> [--update]
+
+<plist-dir> is the -o directory passed to `scan-build -plist` (plists
+may be nested one level down in a timestamped subdirectory; the walk
+finds them wherever they are). --update rewrites the baseline from the
+current findings instead of diffing.
+
+Diagnostic identity is `path :: checker :: description` with the path
+made repo-relative. Line numbers are deliberately excluded: they churn
+with every unrelated edit, and two same-checker/same-description
+findings in one file are rare enough that collapsing them is the right
+trade for a stable baseline.
+
+Only findings under the simulator hot path (src/sim, src/dram,
+src/ndp) gate the build; the analyzer sees the whole library, but the
+rest of the tree is reported informationally.
+"""
+
+import argparse
+import os
+import plistlib
+import sys
+
+GATED_DIRS = ("src/sim", "src/dram", "src/ndp")
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "scan_build_baseline.txt")
+
+
+def repo_rel(path):
+    """Best-effort repo-relative form of an analyzer source path."""
+    path = path.replace("\\", "/")
+    for marker in ("/src/", "/include/", "/tools/", "/tests/"):
+        idx = path.find(marker)
+        if idx >= 0:
+            return path[idx + 1:]
+    return os.path.basename(path)
+
+
+def load_plists(root):
+    """Yield (rel_path, checker, description) for every diagnostic in
+    every .plist file under root."""
+    for dirpath, _, names in os.walk(root):
+        for name in sorted(names):
+            if not name.endswith(".plist"):
+                continue
+            full = os.path.join(dirpath, name)
+            try:
+                with open(full, "rb") as f:
+                    data = plistlib.load(f)
+            except Exception as e:  # malformed plist: surface, don't gate
+                print(f"warning: unreadable plist {full}: {e}",
+                      file=sys.stderr)
+                continue
+            files = data.get("files", [])
+            for diag in data.get("diagnostics", []):
+                loc = diag.get("location", {})
+                file_idx = loc.get("file")
+                src = (files[file_idx]
+                       if isinstance(file_idx, int) and
+                       0 <= file_idx < len(files) else "<unknown>")
+                yield (repo_rel(src),
+                       diag.get("check_name", "<unknown-checker>"),
+                       diag.get("description", "").strip())
+
+
+def finding_key(rel, checker, description):
+    return f"{rel} :: {checker} :: {description}"
+
+
+def read_baseline():
+    if not os.path.exists(BASELINE):
+        return set()
+    out = set()
+    with open(BASELINE, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                out.add(line)
+    return out
+
+
+def write_baseline(keys):
+    with open(BASELINE, "w", encoding="utf-8") as f:
+        f.write(
+            "# Clang Static Analyzer baseline for the gated directories\n"
+            "# (src/sim, src/dram, src/ndp). One finding per line:\n"
+            "#   path :: checker :: description\n"
+            "# Regenerate after triaging an intentional change with:\n"
+            "#   python3 tools/check_scan_build.py --update <plist-dir>\n")
+        for k in sorted(keys):
+            f.write(k + "\n")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Gate scan-build plist output on a baseline.")
+    ap.add_argument("plist_dir", help="scan-build -o output directory")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from current findings")
+    args = ap.parse_args(argv)
+
+    if not os.path.isdir(args.plist_dir):
+        # scan-build only creates the directory when it has output; an
+        # analysis with zero diagnostics is a pass, not a config error.
+        print(f"check_scan_build: no plist directory at "
+              f"{args.plist_dir}; treating as zero findings")
+        findings = []
+    else:
+        findings = sorted(set(load_plists(args.plist_dir)))
+
+    gated = {finding_key(*f) for f in findings
+             if any(f[0].startswith(d + "/") or f[0] == d
+                    for d in GATED_DIRS)}
+    ungated = [finding_key(*f) for f in findings
+               if finding_key(*f) not in gated]
+
+    if args.update:
+        write_baseline(gated)
+        print(f"check_scan_build: baseline rewritten with "
+              f"{len(gated)} finding(s)")
+        return 0
+
+    baseline = read_baseline()
+    new = sorted(gated - baseline)
+    fixed = sorted(baseline - gated)
+
+    for k in ungated:
+        print(f"info (ungated): {k}")
+    for k in fixed:
+        print(f"fixed (remove from baseline): {k}")
+    for k in new:
+        print(f"NEW: {k}")
+
+    if new:
+        print(f"check_scan_build: {len(new)} new analyzer finding(s) in "
+              f"{', '.join(GATED_DIRS)} — fix them or, if triaged as "
+              f"false positives, refresh the baseline with --update")
+        return 1
+    print(f"check_scan_build: clean ({len(gated)} baselined, "
+          f"{len(fixed)} fixed, {len(ungated)} outside gated dirs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,11 @@
 """Unit tests for tools/ansmet_lint.py (stdlib unittest only).
 
 Run directly:  python3 tools/test_ansmet_lint.py
-Each rule R1-R5 gets a triggering fixture and a passing fixture, plus
-tests for the NOLINT suppression mechanics, the forced-libclang skip
-path, and a clean run over the real tree.
+Each rule R1-R8 gets a triggering fixture and a passing fixture, plus
+a waiver fixture for the semantic rules, tests for the NOLINT
+suppression mechanics, lexer regressions (spliced comments, raw
+strings, digit separators), the forced-libclang skip path, and a clean
+run over the real tree.
 """
 
 import contextlib
@@ -236,8 +238,8 @@ class R5EventCaptureTest(LintRunMixin, unittest.TestCase):
         p = self.write(
             "src/ndp/unit.cc",
             "void f(Q &q, int idx) {\n"
-            "    q.scheduleIn(10, [idx] { fire(idx); });\n"
-            "    q.schedule(99, [] {}, 1);\n"
+            "    q.scheduleIn(TickDelta{10}, [idx] { fire(idx); });\n"
+            "    q.schedule(Tick{99}, [] {}, 1);\n"
             "}\n")
         code, _, _ = self.run_lint(p)
         self.assertEqual(code, 0)
@@ -268,8 +270,292 @@ class R5EventCaptureTest(LintRunMixin, unittest.TestCase):
             "void f(Q &q, std::function<void()> cb) {\n"
             "    // NOLINTNEXTLINE(ansmet-eventcapture): cold "
             "init-time path.\n"
-            "    q.schedule(0, std::function<void()>(cb));\n"
+            "    q.schedule(Tick{0}, std::function<void()>(cb));\n"
             "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
+class R6TickUnitsTest(LintRunMixin, unittest.TestCase):
+    def test_raw_literal_in_schedule_flags(self):
+        p = self.write(
+            "src/sim/clock.cc",
+            "void f(Q &q, Cb cb) {\n"
+            "    q.schedule(100, cb);\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-tickunits", out)
+        self.assertIn("'100'", out)
+        self.assertIn("sim::Tick", out)
+
+    def test_raw_literal_in_dram_timing_arg_flags(self):
+        # issueAct(addr, when): the time argument is the second one.
+        p = self.write(
+            "src/dram/sched.cc",
+            "void f(Device &dev, Addr a) {\n"
+            "    dev.issueAct(a, 5000);\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-tickunits", out)
+        self.assertIn("issueAct", out)
+
+    def test_digit_separator_literal_flags(self):
+        p = self.write(
+            "src/ndp/poll.cc",
+            "void f(Q &q, Cb cb) { q.scheduleIn(5'000, cb); }\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("5'000", out)
+
+    def test_constructed_and_named_time_args_pass(self):
+        p = self.write(
+            "src/sim/clock.cc",
+            "void f(Q &q, Cb cb, TickDelta d) {\n"
+            "    q.schedule(Tick{100}, cb);\n"
+            "    q.scheduleIn(d, cb);\n"
+            "    q.scheduleIn(d + TickDelta{5}, cb);\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_non_time_literal_args_pass(self):
+        # The literal priority argument (index 2) is not a time.
+        p = self.write(
+            "src/sim/clock.cc",
+            "void f(Q &q, Cb cb, Tick t) { q.schedule(t, cb, 1); }\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_outside_hot_dirs_passes(self):
+        p = self.write(
+            "src/anns/replay.cc",
+            "void f(Q &q, Cb cb) { q.schedule(100, cb); }\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_waiver_with_justification_passes(self):
+        p = self.write(
+            "src/sim/clock.cc",
+            "void f(Q &q, Cb cb) {\n"
+            "    // NOLINTNEXTLINE(ansmet-tickunits): epoch zero is "
+            "unitless by definition.\n"
+            "    q.schedule(0, cb);\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
+class R7LockOrderTest(LintRunMixin, unittest.TestCase):
+    def test_two_mutex_cycle_reports_full_path(self):
+        p = self.write(
+            "src/anns/locks.cc",
+            "struct S {\n"
+            "    Mutex a_;\n"
+            "    Mutex b_;\n"
+            "    void f() {\n"
+            "        MutexLock la(a_);\n"
+            "        MutexLock lb(b_);\n"
+            "    }\n"
+            "    void g() {\n"
+            "        MutexLock lb(b_);\n"
+            "        MutexLock la(a_);\n"
+            "    }\n"
+            "};\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-lockorder", out)
+        self.assertIn("latent deadlock", out)
+        # The full normalized cycle path, then every hop's witness.
+        self.assertIn("S::a_ -> S::b_ -> S::a_", out)
+        self.assertIn("S::f acquires S::b_", out)
+        self.assertIn("S::g acquires S::a_", out)
+        self.assertIn("locks.cc:6", out)
+        self.assertIn("locks.cc:10", out)
+
+    def test_consistent_order_passes(self):
+        p = self.write(
+            "src/anns/locks.cc",
+            "struct S {\n"
+            "    void f() { MutexLock la(a_); MutexLock lb(b_); }\n"
+            "    void g() { MutexLock la(a_); MutexLock lb(b_); }\n"
+            "};\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_sequential_scopes_pass(self):
+        # Opposite textual order, but never held simultaneously.
+        p = self.write(
+            "src/anns/locks.cc",
+            "struct S {\n"
+            "    void f() { { MutexLock la(a_); } { MutexLock lb(b_); } }\n"
+            "    void g() { { MutexLock lb(b_); } { MutexLock la(a_); } }\n"
+            "};\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_cycle_through_call_propagation_flags(self):
+        p = self.write(
+            "src/anns/locks.cc",
+            "struct S {\n"
+            "    void low() { MutexLock lb(b_); }\n"
+            "    void f() {\n"
+            "        MutexLock la(a_);\n"
+            "        low();\n"
+            "    }\n"
+            "    void g() { MutexLock lb(b_); MutexLock la(a_); }\n"
+            "};\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("S::f calls S::low which acquires S::b_", out)
+
+    def test_requires_macro_counts_as_held(self):
+        p = self.write(
+            "src/anns/locks.cc",
+            "struct S {\n"
+            "    void f() ANSMET_REQUIRES(a_) { MutexLock lb(b_); }\n"
+            "    void g() { MutexLock lb(b_); MutexLock la(a_); }\n"
+            "};\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-lockorder", out)
+        self.assertIn("S::a_ -> S::b_", out)
+
+    def test_member_call_on_other_object_does_not_propagate(self):
+        # `w.load()` must not resolve to the unrelated Other::load() —
+        # resolution is same-class or free functions only.
+        p = self.write(
+            "src/anns/locks.cc",
+            "struct Other {\n"
+            "    void load() { MutexLock lb(b_); }\n"
+            "};\n"
+            "struct S {\n"
+            "    void f(Widget &w) { MutexLock la(a_); w.load(); }\n"
+            "    void g() {\n"
+            "        MutexLock lb(Other::b_);\n"
+            "        MutexLock la(S::a_);\n"
+            "    }\n"
+            "};\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_waiver_on_acquisition_breaks_the_edge(self):
+        p = self.write(
+            "src/anns/locks.cc",
+            "struct S {\n"
+            "    void f() {\n"
+            "        MutexLock la(a_);\n"
+            "        // NOLINTNEXTLINE(ansmet-lockorder): init path, "
+            "single-threaded.\n"
+            "        MutexLock lb(b_);\n"
+            "    }\n"
+            "    void g() { MutexLock lb(b_); MutexLock la(a_); }\n"
+            "};\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
+class R8DangleCaptureTest(LintRunMixin, unittest.TestCase):
+    def test_default_ref_capture_in_schedule_flags(self):
+        p = self.write(
+            "src/sim/defer.cc",
+            "void f(Q &q, TickDelta d) {\n"
+            "    int local = 0;\n"
+            "    q.scheduleIn(d, [&] { use(local); });\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-danglecapture", out)
+        self.assertIn("[&]", out)
+        self.assertIn("scheduleIn()", out)
+
+    def test_named_ref_capture_in_oncomplete_flags(self):
+        p = self.write(
+            "src/ndp/task.cc",
+            "void f(NdpTask &t) {\n"
+            "    int x = 0;\n"
+            "    t.onComplete = [&x] { use(x); };\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("&x", out)
+        self.assertIn("onComplete", out)
+
+    def test_value_and_this_captures_pass(self):
+        p = self.write(
+            "src/sim/defer.cc",
+            "void f(Q &q, Tick t, int x) {\n"
+            "    q.schedule(t, [this, x] { use(x); });\n"
+            "    q.schedule(t, [v = make(x)] { use(v); });\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_ref_lambda_outside_sinks_passes(self):
+        # An immediately-invoked or locally-consumed [&] lambda is
+        # fine; only deferred-callback sinks are policed.
+        p = self.write(
+            "src/sim/defer.cc",
+            "void f(std::vector<int> &v) {\n"
+            "    auto sum = [&] { return v.size(); };\n"
+            "    use(sum());\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_subscript_in_sink_is_not_a_lambda(self):
+        p = self.write(
+            "src/sim/defer.cc",
+            "void f(Q &q, Tick t, Cb cbs[]) {\n"
+            "    q.schedule(t, cbs[0]);\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_waiver_with_justification_passes(self):
+        p = self.write(
+            "src/ndp/task.cc",
+            "void f(NdpTask &t, State &s) {\n"
+            "    // NOLINTNEXTLINE(ansmet-danglecapture): s outlives "
+            "the task by construction.\n"
+            "    t.onComplete = [&s] { s.done = true; };\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
+class LexerRegressionTest(LintRunMixin, unittest.TestCase):
+    def test_line_spliced_comment_stays_a_comment(self):
+        # A backslash-newline extends a // comment onto the next line;
+        # the banned identifier there must not be lexed as code.
+        p = self.write(
+            "src/sim/doc.cc",
+            "// this comment continues \\\n"
+            "   rand() srand() random_device\n"
+            "int ok = 1;\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_digit_separator_does_not_desync_lexer(self):
+        # 5'000 once mis-lexed the ' as a char literal, swallowing the
+        # rest of the line and re-lexing later strings as code.
+        p = self.write(
+            "src/sim/num.cc",
+            "int x = 5'000;\n"
+            "const char *s = \"do not call rand()\";\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_raw_string_contents_are_not_code(self):
+        p = self.write(
+            "src/sim/raw.cc",
+            "const char *kHelp = R\"(don't call rand())\";\n"
+            "const char *kBig = R\"ansmet(\n"
+            "rand();\n"
+            "int *p = new int(3);\n"
+            ")ansmet\";\n"
+            "int ok = 1;\n")
         code, _, _ = self.run_lint(p)
         self.assertEqual(code, 0)
 
@@ -342,7 +628,8 @@ class EngineAndDriverTest(LintRunMixin, unittest.TestCase):
         self.assertEqual(code, 0)
         for name in ("ansmet-determinism", "ansmet-rawnew",
                      "ansmet-nolint", "ansmet-rawsync",
-                     "ansmet-eventcapture"):
+                     "ansmet-eventcapture", "ansmet-tickunits",
+                     "ansmet-lockorder", "ansmet-danglecapture"):
             self.assertIn(name, out.getvalue())
 
 
