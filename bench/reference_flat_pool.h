@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The retired flat thread pool, preserved verbatim (minus parallelFor)
+ * as the baseline the runtime macrobenchmarks compare against — the
+ * same role sim/reference_queue.h plays for the event queue.
+ *
+ * One mutex + condition variable guard a single shared task vector;
+ * every submission and every pop serializes on that lock, which is
+ * exactly the contention the per-worker MPSC channels remove. Do not
+ * use outside bench/: production code goes through common/runtime/.
+ */
+
+#ifndef ANSMET_BENCH_REFERENCE_FLAT_POOL_H
+#define ANSMET_BENCH_REFERENCE_FLAT_POOL_H
+
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sync.h"
+
+namespace ansmet::bench {
+
+class FlatPool
+{
+  public:
+    /** @param threads total lanes including the caller (>= 1), the
+     *  same sizing convention the runtime uses. */
+    explicit FlatPool(unsigned threads)
+    {
+        if (threads == 0)
+            threads = 1;
+        workers_.reserve(threads - 1);
+        for (unsigned t = 0; t + 1 < threads; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~FlatPool()
+    {
+        {
+            MutexLock lk(mu_);
+            stop_ = true;
+        }
+        cv_.notifyAll();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    FlatPool(const FlatPool &) = delete;
+    FlatPool &operator=(const FlatPool &) = delete;
+
+    unsigned
+    size() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /** Queue one task (runs inline when there are no workers). */
+    void
+    post(std::function<void()> task)
+    {
+        if (workers_.empty()) {
+            task();
+            return;
+        }
+        {
+            MutexLock lk(mu_);
+            ANSMET_CHECK(!stop_, "post on a stopped flat pool");
+            tasks_.push_back(std::move(task));
+        }
+        cv_.notifyOne();
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                MutexLock lk(mu_);
+                while (!stop_ && tasks_.empty())
+                    cv_.wait(mu_);
+                if (stop_ && tasks_.empty())
+                    return;
+                task = std::move(tasks_.back());
+                tasks_.pop_back();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::vector<std::function<void()>> tasks_ ANSMET_GUARDED_BY(mu_);
+    Mutex mu_;
+    CondVar cv_;
+    bool stop_ ANSMET_GUARDED_BY(mu_) = false;
+};
+
+} // namespace ansmet::bench
+
+#endif // ANSMET_BENCH_REFERENCE_FLAT_POOL_H

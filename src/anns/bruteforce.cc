@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
-#include "common/thread_pool.h"
+#include "common/runtime/runtime.h"
 
 namespace ansmet::anns {
 
@@ -39,7 +39,7 @@ bruteForceAll(Metric m, const std::vector<std::vector<float>> &queries,
     // Embarrassingly parallel over queries; each slot is written by
     // exactly one iteration, so the result matches a serial run.
     std::vector<std::vector<Neighbor>> out(queries.size());
-    parallelFor(0, queries.size(), [&](std::size_t lo, std::size_t hi) {
+    runtime::parallelFor(0, queries.size(), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t q = lo; q < hi; ++q)
             out[q] = bruteForceKnn(m, queries[q].data(), vs, k);
     });

@@ -8,7 +8,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
-#include "common/thread_pool.h"
+#include "common/runtime/runtime.h"
 #include "obs/metrics.h"
 
 namespace ansmet::anns {
@@ -138,7 +138,7 @@ HnswIndex::drawLevels() const
     // One independent PRNG stream per vertex: the level of a vertex
     // depends only on (seed, id), never on insertion or thread order.
     std::vector<unsigned> levels(vs_.size());
-    parallelFor(0, vs_.size(), [&](std::size_t lo, std::size_t hi) {
+    runtime::parallelFor(0, vs_.size(), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t v = lo; v < hi; ++v) {
             Prng rng = Prng::stream(params_.seed, v);
             levels[v] = randomLevel(rng);
@@ -360,7 +360,7 @@ HnswIndex::buildOrdered(const std::vector<unsigned> &levels)
         plans.assign(batch, InsertPlan{});
 
         // Phase A (parallel): pick neighbors against the frozen graph.
-        parallelFor(0, batch, [&](std::size_t lo, std::size_t hi) {
+        runtime::parallelFor(0, batch, [&](std::size_t lo, std::size_t hi) {
             ScratchLease vis(*scratch_);
             for (std::size_t i = lo; i < hi; ++i) {
                 const auto v = static_cast<VectorId>(done + i);
@@ -369,7 +369,7 @@ HnswIndex::buildOrdered(const std::vector<unsigned> &levels)
         });
 
         // Phase B1 (parallel): each vertex writes its own adjacency.
-        parallelFor(0, batch, [&](std::size_t lo, std::size_t hi) {
+        runtime::parallelFor(0, batch, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i) {
                 const auto v = static_cast<VectorId>(done + i);
                 nodes_[v].links.resize(levels[v] + 1);
@@ -398,7 +398,7 @@ HnswIndex::buildOrdered(const std::vector<unsigned> &levels)
 
         // Phase B2 (parallel): targets are distinct across keys, so
         // each append + shrink touches exactly one neighbor list.
-        parallelFor(0, keys.size(), [&](std::size_t lo, std::size_t hi) {
+        runtime::parallelFor(0, keys.size(), [&](std::size_t lo, std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i) {
                 const auto nb = static_cast<VectorId>(keys[i] >> 6);
                 const auto l = static_cast<unsigned>(keys[i] & 63);
@@ -432,7 +432,7 @@ HnswIndex::buildLocked(const std::vector<unsigned> &levels)
     max_level_ = levels[0];
     nodes_[0].links.resize(levels[0] + 1);
 
-    parallelFor(1, n, [&](std::size_t lo, std::size_t hi) {
+    runtime::parallelFor(1, n, [&](std::size_t lo, std::size_t hi) {
         ScratchLease vis(*scratch_);
         for (std::size_t v = lo; v < hi; ++v) {
             insertLocked(static_cast<VectorId>(v), levels[v], *vis);

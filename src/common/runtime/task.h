@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The unit of work the runtime schedules.
+ *
+ * A Task is a small-buffer callable (reusing sim::InlineFunction, so a
+ * capture that outgrows the inline budget is a compile error, not a
+ * heap allocation per task) plus an affinity hint naming the lane the
+ * submitter wants it to run on. The hint is exactly that — a hint:
+ * with stealing enabled an idle worker may run a task homed elsewhere,
+ * which is why every caller of the runtime must keep task results
+ * placement-independent (write to task-indexed slots, seed PRNGs per
+ * item — the same contract parallelFor callers already honor).
+ *
+ * Tasks may belong to a TaskGroup; the worker signals the group after
+ * the callable returns (or stores the first exception into it), which
+ * is what TaskGroup::wait() joins on.
+ */
+
+#ifndef ANSMET_COMMON_RUNTIME_TASK_H
+#define ANSMET_COMMON_RUNTIME_TASK_H
+
+#include <cstdint>
+
+#include "sim/inline_callback.h"
+
+namespace ansmet::runtime {
+
+class TaskGroup;
+
+/** Affinity wildcard: let the runtime pick a lane (round-robin). */
+inline constexpr std::uint32_t kAnyLane = 0xffffffffu;
+
+struct Task
+{
+    /**
+     * Inline capture budget. 48 bytes matches the event queue's
+     * callback budget: enough for a shared_ptr plus a few indices,
+     * deliberately too small for accidental by-value containers.
+     */
+    static constexpr std::size_t kInlineBytes = 48;
+    using Fn = sim::InlineFunction<void(), kInlineBytes>;
+
+    Task() = default;
+    Task(Fn fn_, std::uint32_t affinity_, TaskGroup *group_ = nullptr)
+        : fn(std::move(fn_)), group(group_), affinity(affinity_)
+    {
+    }
+
+    Fn fn;
+    TaskGroup *group = nullptr;
+    std::uint32_t affinity = kAnyLane;
+
+    explicit operator bool() const { return static_cast<bool>(fn); }
+};
+
+} // namespace ansmet::runtime
+
+#endif // ANSMET_COMMON_RUNTIME_TASK_H

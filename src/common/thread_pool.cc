@@ -1,222 +1,12 @@
 #include "common/thread_pool.h"
 
-#include <cstdlib>
-#include <string>
-
-#include "common/check.h"
-
 namespace ansmet {
-
-namespace {
-
-// Set while a thread is executing pool work; nested parallel calls on
-// such a thread run inline instead of re-entering the pool.
-thread_local bool tls_in_pool_work = false;
-
-} // namespace
-
-unsigned
-ThreadPool::configuredThreads()
-{
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only config knob,
-    // queried before any pool thread exists; nothing mutates the env.
-    if (const char *env = std::getenv("ANSMET_THREADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(v);
-        ANSMET_WARN("ignoring invalid ANSMET_THREADS value");
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
-}
 
 ThreadPool &
 ThreadPool::global()
 {
-    static ThreadPool pool(configuredThreads());
+    static ThreadPool pool{GlobalTag{}};
     return pool;
-}
-
-ThreadPool::ThreadPool(unsigned threads)
-{
-    if (threads == 0)
-        threads = configuredThreads();
-    workers_.reserve(threads - 1);
-    for (unsigned t = 0; t + 1 < threads; ++t)
-        workers_.emplace_back([this] { workerLoop(); });
-}
-
-ThreadPool::~ThreadPool()
-{
-    {
-        MutexLock lk(mu_);
-        stop_ = true;
-    }
-    cv_.notifyAll();
-    for (auto &w : workers_)
-        w.join();
-}
-
-bool
-ThreadPool::hasChunksLocked() const
-{
-    return for_job_ &&
-           for_job_->next.load(std::memory_order_relaxed) < for_job_->end;
-}
-
-void
-ThreadPool::enqueue(std::function<void()> task)
-{
-    if (workers_.empty() || tls_in_pool_work) {
-        // Inline fallback: no workers, or a nested submission from a
-        // worker that must not wait on pool capacity.
-        task();
-        return;
-    }
-    {
-        MutexLock lk(mu_);
-        ANSMET_CHECK(!stop_, "submit on a stopped thread pool");
-        tasks_.push_back(std::move(task));
-    }
-    cv_.notifyOne();
-}
-
-void
-ThreadPool::runChunks(ForJob &job)
-{
-    ANSMET_DCHECK(job.grain > 0 && job.body,
-                  "parallelFor job published without chunks");
-    const bool was_in_pool = tls_in_pool_work;
-    tls_in_pool_work = true;
-    for (;;) {
-        const std::size_t i =
-            job.next.fetch_add(job.grain, std::memory_order_relaxed);
-        if (i >= job.end)
-            break;
-        const std::size_t hi = std::min(i + job.grain, job.end);
-        try {
-            (*job.body)(i, hi);
-        } catch (...) {
-            MutexLock lk(job.error_mu);
-            if (!job.error)
-                job.error = std::current_exception();
-            // Keep claiming chunks so the range always completes and
-            // other participants are not left spinning; only the first
-            // error is reported.
-        }
-    }
-    tls_in_pool_work = was_in_pool;
-}
-
-void
-ThreadPool::workerLoop()
-{
-    for (;;) {
-        std::shared_ptr<ForJob> job;
-        std::function<void()> task;
-        {
-            MutexLock lk(mu_);
-            while (!stop_ && tasks_.empty() && !hasChunksLocked())
-                cv_.wait(mu_);
-            if (stop_ && tasks_.empty() && !hasChunksLocked())
-                return;
-            if (!tasks_.empty()) {
-                task = std::move(tasks_.back());
-                tasks_.pop_back();
-            } else if (hasChunksLocked()) {
-                job = for_job_;
-                // A job is unpublished before its completion flag is
-                // set, so a claimable job can never be finished.
-                ANSMET_DCHECK(!job->done.load(std::memory_order_relaxed),
-                              "worker claimed a completed parallelFor job");
-                job->active.fetch_add(1, std::memory_order_relaxed);
-            } else {
-                continue;
-            }
-        }
-        if (task) {
-            const bool was = tls_in_pool_work;
-            tls_in_pool_work = true;
-            task();
-            tls_in_pool_work = was;
-            continue;
-        }
-        runChunks(*job);
-        // acq_rel: the last worker's decrement publishes its chunk
-        // writes to the waiter's acquire load in parallelFor().
-        if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            MutexLock lk(job->done_mu);
-            job->done_cv.notifyAll();
-        }
-    }
-}
-
-void
-ThreadPool::parallelFor(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)> &body,
-    std::size_t grain)
-{
-    if (begin >= end)
-        return;
-    const std::size_t n = end - begin;
-    if (workers_.empty() || tls_in_pool_work || n == 1) {
-        // Single-thread fallback and nested calls: plain serial loop.
-        body(begin, end);
-        return;
-    }
-    if (grain == 0)
-        grain = std::max<std::size_t>(1, n / (8 * size()));
-
-    auto job = std::make_shared<ForJob>();
-    job->end = n;
-    job->grain = grain;
-    // Chunk indices are offsets from `begin` so the atomic cursor can
-    // start at zero.
-    const std::function<void(std::size_t, std::size_t)> shifted =
-        [&body, begin](std::size_t lo, std::size_t hi) {
-            body(begin + lo, begin + hi);
-        };
-    job->body = &shifted;
-
-    {
-        MutexLock lk(mu_);
-        ANSMET_CHECK(!for_job_, "concurrent top-level parallelFor calls "
-                                "on one pool are not supported");
-        for_job_ = job;
-    }
-    cv_.notifyAll();
-
-    // The caller participates: it claims chunks like any worker, which
-    // is what makes a busy pool degrade to inline execution.
-    runChunks(*job);
-
-    {
-        // Unpublish, then wait for workers still running claimed chunks.
-        MutexLock lk(mu_);
-        for_job_.reset();
-    }
-    {
-        MutexLock lk(job->done_mu);
-        // acquire: pairs with the workers' fetch_sub(acq_rel) so their
-        // chunk writes are visible once the count drains to zero.
-        while (job->active.load(std::memory_order_acquire) != 0)
-            job->done_cv.wait(job->done_mu);
-    }
-    ANSMET_DCHECK(!job->done.load(std::memory_order_relaxed),
-                  "parallelFor job completed twice");
-    job->done.store(true, std::memory_order_relaxed);
-    // Every chunk must have been claimed before the job is torn down;
-    // a short cursor here would mean iterations were silently dropped.
-    ANSMET_CHECK(job->next.load(std::memory_order_relaxed) >= job->end,
-                 "parallelFor finished with unclaimed iterations");
-    std::exception_ptr error;
-    {
-        MutexLock lk(job->error_mu);
-        error = job->error;
-    }
-    if (error)
-        std::rethrow_exception(error);
 }
 
 } // namespace ansmet

@@ -1,35 +1,28 @@
 /**
  * @file
- * Work-stealing thread pool shared by the functional layers.
+ * Thin adapter over the task runtime (common/runtime/) that keeps the
+ * historical ThreadPool API: parallelFor over index ranges, submit()
+ * returning a future, ANSMET_THREADS sizing including the caller.
  *
- * The pool parallelizes the embarrassingly parallel host-side work —
- * ground truth, graph construction, query tracing, replay precompute —
- * while the event-driven timing model itself stays serial (its whole
- * point is a deterministic global event order). Sizing comes from the
- * ANSMET_THREADS environment variable (default: hardware concurrency);
- * ANSMET_THREADS=1 degrades every entry point to plain inline
- * execution, which is the reference behavior the determinism tests
- * compare against.
- *
- * parallelFor() hands out chunks of the index range from a shared
- * atomic cursor, so threads that finish early immediately steal the
- * remaining iterations from slower ones; submit() queues individual
- * tasks. Calls nested inside a worker run inline (serially) rather
- * than deadlocking on pool capacity.
+ * The flat mutex/cv pool this class used to be lives on only as the
+ * benchmark baseline (bench/reference_flat_pool.h); all execution now
+ * goes through Runtime's per-worker MPSC channels. Semantics callers
+ * rely on are preserved exactly: nested calls from inside pool work
+ * run inline (so submit().get() inside a parallelFor cannot deadlock),
+ * a one-lane pool spawns nothing, chunk-to-thread assignment is
+ * dynamic so iteration bodies must stay placement-independent.
  */
 
 #ifndef ANSMET_COMMON_THREAD_POOL_H
 #define ANSMET_COMMON_THREAD_POOL_H
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <thread>
-#include <vector>
+#include <utility>
 
-#include "common/sync.h"
+#include "common/runtime/runtime.h"
 
 namespace ansmet {
 
@@ -41,19 +34,31 @@ class ThreadPool
      *        0 = configuredThreads(). 1 means no worker threads are
      *        spawned and everything runs inline.
      */
-    explicit ThreadPool(unsigned threads = 0);
-    ~ThreadPool();
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        runtime::RuntimeConfig cfg;
+        cfg.cores = threads == 0 ? runtime::CoreSet::configured()
+                                 : runtime::CoreSet::identity(threads);
+        owned_ = std::make_unique<runtime::Runtime>(std::move(cfg));
+    }
+
+    ~ThreadPool() = default; // owned runtime drains-then-joins
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Execution lanes (worker threads + the calling thread), >= 1. */
-    unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+    unsigned size() const { return rt().lanes(); }
 
     /** ANSMET_THREADS if set (clamped to >= 1), else hardware concurrency. */
-    static unsigned configuredThreads();
+    static unsigned
+    configuredThreads()
+    {
+        return runtime::CoreSet::configuredLanes();
+    }
 
-    /** Process-wide pool sized by configuredThreads() at first use. */
+    /** Adapter over the process-wide Runtime::global() — the same
+     *  workers serve both this facade and direct runtime users. */
     static ThreadPool &global();
 
     /**
@@ -65,9 +70,13 @@ class ThreadPool
      * and write only to iteration-indexed slots so the result is
      * identical to a serial run.
      */
-    void parallelFor(std::size_t begin, std::size_t end,
-                     const std::function<void(std::size_t, std::size_t)> &body,
-                     std::size_t grain = 0);
+    void
+    parallelFor(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t, std::size_t)> &body,
+                std::size_t grain = 0)
+    {
+        rt().parallelFor(begin, end, body, grain);
+    }
 
     /** Queue one task; the future reports its result or exception. */
     template <typename Fn>
@@ -77,50 +86,31 @@ class ThreadPool
         using R = decltype(fn());
         auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
         std::future<R> fut = task->get_future();
-        enqueue([task] { (*task)(); });
+        if (rt().numWorkers() == 0 || runtime::Runtime::inRuntimeWork()) {
+            // Inline fallback: no workers, or a nested submission from
+            // inside pool work that must not wait on queue capacity
+            // (the caller may block on the future immediately).
+            (*task)();
+            return fut;
+        }
+        rt().post(runtime::Task{runtime::Task::Fn{[task] { (*task)(); }},
+                                runtime::kAnyLane});
         return fut;
     }
 
   private:
-    struct ForJob
+    struct GlobalTag
     {
-        // end/grain/body are written once, before the job is published
-        // under the pool's mu_, and are immutable from then on — the
-        // publishing store/load of for_job_ is what orders them.
-        std::size_t end = 0;
-        std::size_t grain = 1;
-        const std::function<void(std::size_t, std::size_t)> *body = nullptr;
-        // Chunk-claim cursor. relaxed: fetch_add only needs atomicity
-        // (each index is claimed exactly once); visibility of the
-        // chunk bodies' writes is ordered by `active`, not by `next`.
-        std::atomic<std::size_t> next{0};
-        // Workers running claimed chunks. fetch_sub(acq_rel) on exit +
-        // the waiter's acquire load make every chunk's writes visible
-        // to the caller once active reaches 0.
-        std::atomic<unsigned> active{0};
-        std::exception_ptr error ANSMET_GUARDED_BY(error_mu);
-        Mutex error_mu;
-        // Audit-only completion flag read by DCHECKs from both sides
-        // of the teardown handshake. relaxed: the real ordering is mu_
-        // (unpublish) and done_mu/active (completion wait).
-        std::atomic<bool> done{false};
-        Mutex done_mu; //!< done_cv's mutex (predicate state is `active`)
-        CondVar done_cv;
     };
+    explicit ThreadPool(GlobalTag) {} // facade over Runtime::global()
 
-    void enqueue(std::function<void()> task);
-    void workerLoop();
-    static void runChunks(ForJob &job);
+    runtime::Runtime &
+    rt() const
+    {
+        return owned_ ? *owned_ : runtime::Runtime::global();
+    }
 
-    /** A published parallelFor job with unclaimed chunks remains. */
-    bool hasChunksLocked() const ANSMET_REQUIRES(mu_);
-
-    std::vector<std::thread> workers_;
-    std::shared_ptr<ForJob> for_job_ ANSMET_GUARDED_BY(mu_);
-    std::vector<std::function<void()>> tasks_ ANSMET_GUARDED_BY(mu_);
-    Mutex mu_;
-    CondVar cv_;
-    bool stop_ ANSMET_GUARDED_BY(mu_) = false;
+    std::unique_ptr<runtime::Runtime> owned_; // null = global facade
 };
 
 /** Convenience: ThreadPool::global().parallelFor(...). */

@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "common/logging.h"
-#include "common/thread_pool.h"
+#include "common/runtime/runtime.h"
 
 namespace ansmet::core {
 
@@ -112,7 +112,7 @@ ExperimentContext::tuneEf()
         // Parallel searches write per-query slots; the reduction runs
         // serially in query order so the sum is bit-identical to the
         // single-threaded loop.
-        parallelFor(0, nq, [&](std::size_t lo, std::size_t hi) {
+        runtime::parallelFor(0, nq, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t q = lo; q < hi; ++q) {
                 const auto ids =
                     index_->search(ds_.queries[q].data(), cfg_.k, ef);
@@ -139,7 +139,7 @@ ExperimentContext::traceWithEf(std::size_t ef) const
     std::vector<double> per_query(nq);
     // Queries are independent; traces land in their stable slots and
     // the recall reduction runs in query order (see tuneEf).
-    parallelFor(0, nq, [&](std::size_t lo, std::size_t hi) {
+    runtime::parallelFor(0, nq, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t q = lo; q < hi; ++q) {
             traces[q] = traceHnswQuery(*index_, ds_.queries[q], cfg_.k,
                                        std::max(ef, cfg_.k));

@@ -4,7 +4,7 @@
 #include <bit>
 
 #include "common/logging.h"
-#include "common/thread_pool.h"
+#include "common/runtime/runtime.h"
 #include "ndp/instr.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -696,7 +696,7 @@ SystemModel::placeOf(VectorId v, unsigned group) const
 void
 SystemModel::precomputeFetch(const std::vector<QueryTrace> &traces)
 {
-    if (!cfg_.prefetchReplay || ThreadPool::global().size() == 1)
+    if (!cfg_.prefetchReplay || runtime::Runtime::global().lanes() == 1)
         return; // serial reference path simulates on the fly
 
     // The dimension ranges every comparison is simulated over: the
@@ -714,7 +714,7 @@ SystemModel::precomputeFetch(const std::vector<QueryTrace> &traces)
         (void)fetchsim_->subPlan(e - b);
 
     prefetch_.assign(traces.size(), {});
-    parallelFor(0, traces.size(), [&](std::size_t lo, std::size_t hi) {
+    runtime::parallelFor(0, traces.size(), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t q = lo; q < hi; ++q) {
             auto &out = prefetch_[q];
             const QueryTrace &tr = traces[q];

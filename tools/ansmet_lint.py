@@ -25,6 +25,12 @@ conventions that neither the compiler nor clang-tidy checks:
                            over them) outside src/common/sync.h — the
                            annotated wrappers are mandatory so Clang's
                            thread-safety analysis sees every lock.
+                           Likewise no direct std::thread / std::jthread
+                           / std::async outside src/common/runtime/ and
+                           the src/common/thread_pool facade — threads
+                           are spawned only by the task runtime so
+                           worker count, affinity, and shutdown stay
+                           centralized (std::this_thread is fine).
   R5  ansmet-eventcapture  No std::function inside the arguments of a
                            schedule()/scheduleIn() call in the
                            simulator-hot directories (src/sim, src/ndp,
@@ -125,6 +131,19 @@ BANNED_SYNC = {
     "scoped_lock",
 }
 SYNC_EXEMPT_SUFFIX = os.path.join("src", "common", "sync.h")
+
+# R4 (thread-spawn half): raw std::thread / std::jthread / std::async
+# outside the task runtime and its ThreadPool facade. Centralizing
+# thread creation is what keeps worker count, core affinity, the
+# nested-inline rules, and drain-then-join shutdown coherent.
+# (`std::this_thread` lexes as the single identifier `this_thread` and
+# is deliberately not banned — yield/sleep_for are fine anywhere.)
+BANNED_THREAD_SPAWN = {"thread", "jthread", "async"}
+THREAD_EXEMPT_DIRS = ("src/common/runtime",)
+THREAD_EXEMPT_FILES = (
+    "src/common/thread_pool.h",
+    "src/common/thread_pool.cc",
+)
 
 # R5/R6/R8: directories whose schedule()/scheduleIn() calls sit on the
 # simulated hot path.
@@ -599,11 +618,19 @@ def check_nolint_justified(path, tokens, findings):
 
 
 def check_raw_sync(path, tokens, waived, findings):
-    if path.replace(os.sep, "/").endswith("common/sync.h"):
+    norm = path.replace(os.sep, "/")
+    if norm.endswith("common/sync.h"):
         return
+    spawn_exempt = (any(f"/{d}/" in norm or norm.startswith(f"{d}/")
+                        for d in THREAD_EXEMPT_DIRS) or
+                    norm.endswith(THREAD_EXEMPT_FILES))
     code = [t for t in tokens if t.kind in ("id", "kw", "punct")]
     for idx, tok in enumerate(code):
-        if tok.kind != "id" or tok.spelling not in BANNED_SYNC:
+        if tok.kind != "id":
+            continue
+        is_sync = tok.spelling in BANNED_SYNC
+        is_spawn = tok.spelling in BANNED_THREAD_SPAWN and not spawn_exempt
+        if not (is_sync or is_spawn):
             continue
         # Require the std:: qualification: `std` `:` `:` `mutex`.
         if idx < 3:
@@ -614,12 +641,20 @@ def check_raw_sync(path, tokens, waived, findings):
             continue
         if is_waived(waived, RULES["R4"], tok.line):
             continue
-        findings.append(Finding(
-            path, tok.line, "R4",
-            f"raw std::{tok.spelling}: use the annotated wrappers in "
-            f"common/sync.h (Mutex/SharedMutex/CondVar + MutexLock/"
-            f"ReaderLock/WriterLock) so thread-safety analysis sees "
-            f"the contract"))
+        if is_sync:
+            findings.append(Finding(
+                path, tok.line, "R4",
+                f"raw std::{tok.spelling}: use the annotated wrappers in "
+                f"common/sync.h (Mutex/SharedMutex/CondVar + MutexLock/"
+                f"ReaderLock/WriterLock) so thread-safety analysis sees "
+                f"the contract"))
+        else:
+            findings.append(Finding(
+                path, tok.line, "R4",
+                f"raw std::{tok.spelling}: spawn through the task runtime "
+                f"(common/runtime/Runtime, TaskGroup, parallelFor) or the "
+                f"ThreadPool facade so worker count, core affinity, and "
+                f"drain-then-join shutdown stay centralized"))
 
 
 def check_event_capture(path, tokens, waived, findings):

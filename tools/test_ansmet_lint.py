@@ -217,6 +217,54 @@ class R4RawSyncTest(LintRunMixin, unittest.TestCase):
         code, _, _ = self.run_lint(p)
         self.assertEqual(code, 0)
 
+    def test_std_thread_outside_runtime_flags(self):
+        p = self.write("src/core/sampler.cc",
+                       "#include <thread>\n"
+                       "void f() { std::thread t([] {}); t.join(); }\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-rawsync", out)
+        self.assertIn("task runtime", out)
+
+    def test_std_async_outside_runtime_flags(self):
+        p = self.write("src/anns/builder.cc",
+                       "#include <future>\n"
+                       "auto f() { return std::async([] { return 1; }); }\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("std::async", out)
+
+    def test_std_thread_inside_runtime_is_exempt(self):
+        p = self.write("src/common/runtime/worker.h",
+                       "#include <thread>\n"
+                       "class Worker { std::thread thread_; };\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_std_thread_in_thread_pool_facade_is_exempt(self):
+        p = self.write("src/common/thread_pool.cc",
+                       "#include <thread>\n"
+                       "unsigned n() "
+                       "{ return std::thread::hardware_concurrency(); }\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_this_thread_passes_everywhere(self):
+        p = self.write("src/obs/poll.cc",
+                       "#include <thread>\n"
+                       "void f() { std::this_thread::yield(); }\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_std_thread_waiver_with_justification_passes(self):
+        p = self.write(
+            "src/core/probe.cc",
+            "#include <thread>\n"
+            "// NOLINTNEXTLINE(ansmet-rawsync): OS probe outlives runtime.\n"
+            "std::thread spawnProbe();\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
 
 class R5EventCaptureTest(LintRunMixin, unittest.TestCase):
     def test_std_function_in_schedule_arg_flags(self):
