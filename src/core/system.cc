@@ -67,21 +67,21 @@ class SystemModel::QueryContext
         }
     }
 
-    void start() { pickNext(); }
+    /** True when no query is in flight on this slot. */
+    bool idle() const { return idle_; }
 
-  private:
-    struct UnitBatch
-    {
-        std::vector<ndp::NdpTask> tasks;
-        unsigned writes = 0;
-    };
-
+    /**
+     * Start replaying trace @p trace_idx at the current tick. @p done
+     * fires inline at the query's final tick, after the slot went back
+     * to idle — it may begin() this slot again at that same tick.
+     */
     void
-    pickNext()
+    begin(std::size_t trace_idx, QueryDone done)
     {
-        if (sys_.next_query_ >= sys_.traces_->size())
-            return; // this core is done
-        qidx_ = sys_.next_query_++;
+        ANSMET_ASSERT(idle_, "slot already has a query in flight");
+        idle_ = false;
+        done_ = std::move(done);
+        qidx_ = trace_idx;
         trace_ = &(*sys_.traces_)[qidx_];
         stats_ = QueryStats{};
         stats_.start = sys_.eq_.now();
@@ -91,6 +91,13 @@ class SystemModel::QueryContext
                   std::uint64_t{0});
         startStep();
     }
+
+  private:
+    struct UnitBatch
+    {
+        std::vector<ndp::NdpTask> tasks;
+        unsigned writes = 0;
+    };
 
     /** Mark (unit, qshr slot) as query-loaded; true on first use. */
     bool
@@ -527,11 +534,19 @@ class SystemModel::QueryContext
                     stats_.start, stats_.end, args, std::size(args));
         }
         sys_.run_stats_->queries.push_back(stats_);
-        pickNext();
+        // Hand the slot back before notifying: the callback may begin()
+        // the next query on this slot at this same tick.
+        idle_ = true;
+        QueryDone done = std::move(done_);
+        done_ = nullptr;
+        if (done)
+            done(stats_);
     }
 
     SystemModel &sys_;
     unsigned id_;
+    bool idle_ = true;
+    QueryDone done_;
     const QueryTrace *trace_ = nullptr;
     std::size_t qidx_ = 0;
     std::size_t step_ = 0;
@@ -735,28 +750,81 @@ SystemModel::precomputeFetch(const std::vector<QueryTrace> &traces)
     });
 }
 
-RunStats
-SystemModel::run(const std::vector<QueryTrace> &traces)
+void
+SystemModel::beginSession(const std::vector<QueryTrace> &traces,
+                          unsigned slots)
 {
-    ANSMET_ASSERT(!ran_, "SystemModel::run is single-use");
+    ANSMET_ASSERT(!ran_, "SystemModel session is single-use");
+    ANSMET_ASSERT(slots > 0, "session needs at least one slot");
     ran_ = true;
     // A figure binary replays many designs from tick 0 each; a fresh
     // pid per run keeps their timelines from overlapping in the trace.
     obs::TraceWriter::instance().beginRun(designName(cfg_.design));
 
-    RunStats rs;
-    run_stats_ = &rs;
+    session_stats_ = RunStats{};
+    run_stats_ = &session_stats_;
     traces_ = &traces;
     next_query_ = 0;
     precomputeFetch(traces);
 
+    for (unsigned c = 0; c < slots; ++c)
+        contexts_.push_back(std::make_unique<QueryContext>(*this, c));
+}
+
+bool
+SystemModel::slotIdle(unsigned slot) const
+{
+    ANSMET_ASSERT(slot < contexts_.size(), "slot out of range");
+    return contexts_[slot]->idle();
+}
+
+void
+SystemModel::submit(unsigned slot, std::size_t traceIdx, QueryDone done)
+{
+    ANSMET_ASSERT(run_stats_ != nullptr, "no open session");
+    ANSMET_ASSERT(slot < contexts_.size(), "slot out of range");
+    ANSMET_ASSERT(traceIdx < traces_->size(), "trace index out of range");
+    contexts_[slot]->begin(traceIdx, std::move(done));
+}
+
+RunStats
+SystemModel::endSession()
+{
+    ANSMET_ASSERT(run_stats_ != nullptr, "no open session");
+    ANSMET_ASSERT(eq_.pending() == 0,
+                  "endSession with simulation events still pending");
+    for (unsigned s = 0; s < contexts_.size(); ++s)
+        ANSMET_ASSERT(contexts_[s]->idle(),
+                      "endSession with a query still in flight");
+
+    RunStats rs = std::move(session_stats_);
+    session_stats_ = RunStats{};
+    rs.makespan = eq_.now() - Tick{};
+    rs.loadImbalance = loads_ ? loads_->imbalanceRatio() : 1.0;
+    rs.energy = collectEnergy(rs);
+    run_stats_ = nullptr;
+    traces_ = nullptr;
+    return rs;
+}
+
+void
+SystemModel::dispatchNext(unsigned slot)
+{
+    if (next_query_ >= traces_->size())
+        return; // this slot is done
+    submit(slot, next_query_++,
+           [this, slot](const QueryStats &) { dispatchNext(slot); });
+}
+
+RunStats
+SystemModel::run(const std::vector<QueryTrace> &traces)
+{
     const unsigned ctxs = std::min<unsigned>(
         cfg_.concurrentQueries,
         static_cast<unsigned>(std::max<std::size_t>(1, traces.size())));
+    beginSession(traces, ctxs);
     for (unsigned c = 0; c < ctxs; ++c)
-        contexts_.push_back(std::make_unique<QueryContext>(*this, c));
-    for (auto &c : contexts_)
-        c->start();
+        dispatchNext(c);
 
     if (std::getenv("ANSMET_EQ_DEBUG")) {
         eq_.setDebug(true);
@@ -779,12 +847,7 @@ SystemModel::run(const std::vector<QueryTrace> &traces)
         });
     }
     eq_.run();
-
-    rs.makespan = eq_.now() - Tick{};
-    rs.loadImbalance = loads_ ? loads_->imbalanceRatio() : 1.0;
-    rs.energy = collectEnergy(rs);
-    run_stats_ = nullptr;
-    return rs;
+    return endSession();
 }
 
 dram::EnergyBreakdown

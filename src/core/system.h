@@ -15,6 +15,7 @@
 #ifndef ANSMET_CORE_SYSTEM_H
 #define ANSMET_CORE_SYSTEM_H
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -171,6 +172,64 @@ class SystemModel
     /** Replay @p traces; single use. */
     RunStats run(const std::vector<QueryTrace> &traces);
 
+    // ------------------------------------------------------------------
+    // Session API: the multi-query entry point behind run() and the
+    // online serving engine (src/serve). A session replaces the old
+    // monolithic run(): the caller opens it once, starts queries on
+    // numbered slots at any simulated time (e.g. from arrival events
+    // scheduled on eventQueue()), drives eq_.run(), and closes it to
+    // collect whole-run statistics. run() is the batch dispatcher built
+    // on top, and replays the exact event sequence the pre-session code
+    // produced (golden figures are bitwise unchanged).
+    // ------------------------------------------------------------------
+
+    /** Completion callback of one submitted query. Runs inline at the
+     *  query's final simulated tick; it may submit() again (on this or
+     *  any idle slot) at that same tick. */
+    using QueryDone = std::function<void(const QueryStats &)>;
+
+    /**
+     * Open a session over @p traces with @p slots concurrent query
+     * slots. A slot is one host core driving one in-flight query; its
+     * index also selects the QSHR set NDP offloads use, so distinct
+     * in-flight queries never contend for a QSHR as long as
+     * slots * qshrsPerQuery <= numQshrs (the admission scheduler in
+     * src/serve enforces exactly that packing). Single use per model.
+     */
+    void beginSession(const std::vector<QueryTrace> &traces,
+                      unsigned slots);
+
+    /** Slots the open session was sized with. */
+    unsigned
+    sessionSlots() const
+    {
+        return static_cast<unsigned>(contexts_.size());
+    }
+
+    /** True when @p slot has no query in flight. */
+    bool slotIdle(unsigned slot) const;
+
+    /**
+     * Start replaying trace @p traceIdx on idle slot @p slot at the
+     * current simulated time (fatal if the slot is busy). The same
+     * trace may be submitted any number of times per session — the
+     * serving engine replays popular queries repeatedly under Zipf
+     * skew. @p done fires when the query completes.
+     */
+    void submit(unsigned slot, std::size_t traceIdx, QueryDone done);
+
+    /** The session's event queue, for arrival scheduling and now(). */
+    sim::EventQueue &eventQueue() { return eq_; }
+
+    /**
+     * Close the session and collect run statistics (queries in
+     * completion order, makespan up to the last executed event,
+     * energy). Fatal if events are still pending or a query is still
+     * in flight.
+     */
+    RunStats endSession();
+
+    const SystemConfig &config() const { return cfg_; }
     const et::FetchSimulator &fetchSimulator() const { return *fetchsim_; }
     const layout::Partitioner *partitioner() const { return part_.get(); }
 
@@ -195,6 +254,9 @@ class SystemModel
     friend class QueryContext;
 
     void allocatePlacement(const std::vector<VectorId> &hot);
+
+    /** Batch dispatcher: feed @p slot the next undispatched trace. */
+    void dispatchNext(unsigned slot);
 
     /**
      * Fetch-simulate every comparison of every trace in parallel over
@@ -235,14 +297,16 @@ class SystemModel
     std::unordered_map<std::uint64_t, std::vector<SubPlace>> replica_place_;
     std::vector<std::uint64_t> rank_alloc_;
 
-    // Run state.
-    // prefetch_[q] = PreFetch per simulator call of query q, in
-    // consumption order; empty when computing on the fly.
+    // Session state.
+    // prefetch_[q] = PreFetch per simulator call of trace q, in
+    // consumption order; empty when computing on the fly. Indexed by
+    // trace, so repeated submissions of one trace replay one sequence.
     std::vector<std::vector<PreFetch>> prefetch_;
     const std::vector<QueryTrace> *traces_ = nullptr;
-    std::size_t next_query_ = 0;
+    std::size_t next_query_ = 0; //!< batch dispatcher cursor (run())
     std::vector<std::unique_ptr<QueryContext>> contexts_;
-    RunStats *run_stats_ = nullptr;
+    RunStats session_stats_;
+    RunStats *run_stats_ = nullptr; //!< &session_stats_ while open
     bool ran_ = false;
 };
 

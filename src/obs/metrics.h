@@ -23,6 +23,7 @@
 #ifndef ANSMET_OBS_METRICS_H
 #define ANSMET_OBS_METRICS_H
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -50,6 +51,32 @@ struct HistogramData
         return count ? static_cast<double>(sum) / static_cast<double>(count)
                      : 0.0;
     }
+
+    /**
+     * Approximate q-quantile (0 < q <= 1) by nearest rank over the
+     * log2 buckets, returned as the inclusive upper bound of the
+     * bucket holding that rank (0 for the zero bucket, 2^i - 1 for
+     * bucket i). For samples below the last bucket's absorption point
+     * the estimate e brackets the true sample v as e/2 < v <= e — the
+     * log2 error bound the recorder tests assert. Returns 0 when
+     * empty.
+     */
+    std::uint64_t
+    quantile(double q) const
+    {
+        if (count == 0)
+            return 0;
+        auto rank = static_cast<std::uint64_t>(
+            std::ceil(q * static_cast<double>(count)));
+        rank = rank < 1 ? 1 : (rank > count ? count : rank);
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            seen += buckets[i];
+            if (seen >= rank)
+                return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+        }
+        return 0; // unreachable: count == sum of buckets
+    }
 };
 
 /** Point-in-time merged view of every registered metric. */
@@ -74,9 +101,17 @@ struct Shard
 {
     // relaxed everywhere: each slot is written by exactly one thread
     // (the shard owner) and merged by snapshot() under the registry
-    // mutex; slight cross-slot skew in a snapshot taken mid-recording
-    // is accepted by contract, so no ordering is needed.
+    // mutex. Single-slot metrics (counters) are exact in any snapshot
+    // on their own; multi-slot updates (a histogram sample touches a
+    // bucket slot and the sum slot) are bracketed by `epoch` so
+    // snapshot() can detect and retry past a mid-sample read instead
+    // of tearing bucket against sum.
     std::array<std::atomic<std::uint64_t>, kShardSlots> slots{};
+
+    // Seqlock-style write epoch: odd while the shard owner is inside a
+    // multi-slot update. Counters skip it (their one fetch_add is
+    // atomic on its own), so the common hot path stays a single RMW.
+    std::atomic<std::uint64_t> epoch{0};
 };
 
 /** Allocate this thread's shard and register it (metrics.cc). */
@@ -153,10 +188,17 @@ class Histogram
     sample(std::uint64_t v)
     {
         detail::Shard &s = detail::shard();
+        // Seqlock write side: the entry increment is acq_rel so the
+        // slot adds cannot appear before it, the exit increment is
+        // release so they cannot appear after it; the adds themselves
+        // stay relaxed. snapshot() retries any shard it catches with
+        // an odd or moving epoch.
+        s.epoch.fetch_add(1, std::memory_order_acq_rel);
         s.slots[first_ + bucketOf(v)].fetch_add(
             1, std::memory_order_relaxed);
         s.slots[first_ + buckets_].fetch_add(v,
                                              std::memory_order_relaxed);
+        s.epoch.fetch_add(1, std::memory_order_release);
     }
 
   private:

@@ -97,7 +97,7 @@ import sys
 # --------------------------------------------------------------------
 
 DETERMINISTIC_DIRS = ("src/sim", "src/ndp", "src/dram", "src/et",
-                      "src/anns")
+                      "src/anns", "src/serve")
 
 # Identifier tokens banned by R1 inside the deterministic directories.
 BANNED_RANDOM = {

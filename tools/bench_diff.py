@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare google-benchmark JSON outputs and reproduced figure text.
 
-Three modes, stdlib only:
+Four modes, stdlib only:
 
   Delta mode -- compare two runs benchmark-by-benchmark:
 
@@ -36,6 +36,23 @@ Three modes, stdlib only:
     table cell, a missing row) prints a unified diff and exits 1 --
     this is the CI determinism/no-perturbation assertion.
 
+  Tail mode -- gate serving tail latency from a macro_serve sweep:
+
+      tools/bench_diff.py --tail BENCH_serve.json \
+          [--gate 'total.p99<=60us']... [--sweep-index N]
+
+    Reads the 'ansmet-serve-v1' JSON emitted by bench/macro_serve
+    --out. Each --gate is PHASE.QUANTILE<=BOUND where PHASE is one of
+    the serving phases (queue_wait, traverse, offload, compute,
+    collect, total), QUANTILE is p50 | p99 | p999 | max | mean, and
+    BOUND takes a ps/ns/us/ms suffix (plain numbers are picoseconds).
+    'dropped<=N' and 'completed>=N' gate the admission counters.
+    Gates apply to one sweep point, --sweep-index (default 0, the
+    lowest offered load); every number in the file is a deterministic
+    simulated quantity, so the bounds can be tight without runner
+    noise. Exit 1 if any gate fails -- this is the CI serving-tail
+    assertion.
+
 Exit codes: 0 ok, 1 comparison failed, 2 unreadable/malformed input.
 """
 
@@ -45,6 +62,17 @@ import json
 import sys
 
 TIERS = ("scalar", "avx2", "avx512", "ref", "opt", "flat", "task")
+
+SERVE_SCHEMA = "ansmet-serve-v1"
+
+# Latency gate units, as picosecond multipliers (serve JSON is in ps).
+TAIL_UNITS = {"ps": 1.0, "ns": 1e3, "us": 1e6, "ms": 1e9}
+
+TAIL_QUANTILES = ("p50", "p99", "p999", "max", "mean")
+
+# Per-point admission counters that can be gated alongside phase
+# quantiles: name -> comparison direction.
+TAIL_COUNTERS = {"dropped": "<=", "completed": ">="}
 
 # Tiers that serve as the denominator of a speedup ratio; a measured
 # entry's baseline sibling is looked up in this order.
@@ -98,6 +126,134 @@ def load_figure_lines(path):
     if not any(l.strip() for l in kept):
         raise InputError(f"{path!r} contains no figure output")
     return kept
+
+
+def load_serve_sweep(path):
+    """Validated sweep-point list from a macro_serve --out JSON file."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as e:
+        raise InputError(f"cannot read serve file {path!r}: "
+                         f"{e.strerror or e}") from e
+    except json.JSONDecodeError as e:
+        raise InputError(f"{path!r} is not valid JSON (line {e.lineno}: "
+                         f"{e.msg}); was macro_serve interrupted?") from e
+    if not isinstance(data, dict) or data.get("schema") != SERVE_SCHEMA:
+        raise InputError(f"{path!r}: expected a {SERVE_SCHEMA!r} object "
+                         f"from 'macro_serve --out'")
+    sweep = data.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        raise InputError(f"{path!r}: sweep is empty")
+    for i, point in enumerate(sweep):
+        if not isinstance(point, dict) or \
+                not isinstance(point.get("phases"), dict):
+            raise InputError(f"{path!r}: sweep point {i} is missing its "
+                             f"phases object")
+    return sweep
+
+
+def parse_gate(spec):
+    """('total', 'p99_ps', 6e7, '<=') for 'total.p99<=60us'.
+
+    Counter gates parse to (name, None, bound, op), e.g.
+    ('dropped', None, 0.0, '<=') for 'dropped<=0'.
+    """
+    for name, op in TAIL_COUNTERS.items():
+        if spec.startswith(name + op):
+            rhs = spec[len(name) + len(op):]
+            try:
+                return name, None, float(rhs), op
+            except ValueError as e:
+                raise InputError(f"gate {spec!r}: {rhs!r} is not a "
+                                 f"number") from e
+    lhs, sep, rhs = spec.partition("<=")
+    if not sep:
+        counters = ", ".join(n + o for n, o in TAIL_COUNTERS.items())
+        raise InputError(f"gate {spec!r}: expected PHASE.QUANTILE<=BOUND "
+                         f"(e.g. 'total.p99<=60us') or a counter gate "
+                         f"({counters})")
+    phase, dot, quant = lhs.partition(".")
+    if not dot or not phase or quant not in TAIL_QUANTILES:
+        raise InputError(f"gate {spec!r}: left side must be "
+                         f"PHASE.({'|'.join(TAIL_QUANTILES)})")
+    unit = "ps"
+    for suffix in TAIL_UNITS:
+        if rhs.endswith(suffix):
+            unit, rhs = suffix, rhs[:-len(suffix)]
+            break
+    try:
+        bound = float(rhs) * TAIL_UNITS[unit]
+    except ValueError as e:
+        raise InputError(f"gate {spec!r}: bound {rhs!r} is not a "
+                         f"number") from e
+    return phase, quant + "_ps", bound, "<="
+
+
+def format_ps(ps):
+    """Human-readable time from picoseconds."""
+    for unit in ("ms", "us", "ns"):
+        if ps >= TAIL_UNITS[unit]:
+            return f"{ps / TAIL_UNITS[unit]:.2f}{unit}"
+    return f"{ps:.0f}ps"
+
+
+def run_tail(args):
+    sweep = load_serve_sweep(args.files[0])
+
+    print(f"{'offered qps':>12}  {'achieved qps':>12}  {'done':>5}  "
+          f"{'drop':>5}  {'total p50':>10}  {'total p99':>10}  "
+          f"{'total p999':>10}")
+    for point in sweep:
+        total = point.get("phases", {}).get("total", {})
+        print(f"{point.get('offered_qps', 0.0):>12.0f}  "
+              f"{point.get('achieved_qps', 0.0):>12.0f}  "
+              f"{point.get('completed', 0):>5}  "
+              f"{point.get('dropped', 0):>5}  "
+              f"{format_ps(total.get('p50_ps', 0)):>10}  "
+              f"{format_ps(total.get('p99_ps', 0)):>10}  "
+              f"{format_ps(total.get('p999_ps', 0)):>10}")
+
+    if not (0 <= args.sweep_index < len(sweep)):
+        raise InputError(f"--sweep-index {args.sweep_index} out of range "
+                         f"(sweep has {len(sweep)} points)")
+    point = sweep[args.sweep_index]
+    print(f"gating sweep point {args.sweep_index} "
+          f"(offered {point.get('offered_qps', 0.0):.0f} qps)")
+
+    failed = False
+    for spec in args.gate:
+        phase, key, bound, op = parse_gate(spec)
+        if key is None:
+            value = point.get(phase)
+            if value is None:
+                print(f"FAIL: counter '{phase}' missing from sweep "
+                      f"point", file=sys.stderr)
+                failed = True
+                continue
+            ok = value <= bound if op == "<=" else value >= bound
+            if ok:
+                print(f"ok: {phase} = {value:g} ({op} {bound:g})")
+            else:
+                print(f"FAIL: {phase} = {value:g}, gate {spec!r}",
+                      file=sys.stderr)
+                failed = True
+            continue
+        stats = point["phases"].get(phase)
+        if stats is None or key not in stats:
+            print(f"FAIL: gate {spec!r}: phase '{phase}' / '{key}' not "
+                  f"in sweep point", file=sys.stderr)
+            failed = True
+            continue
+        value = float(stats[key])
+        if value <= bound:
+            print(f"ok: {phase}.{key} = {format_ps(value)} "
+                  f"(<= {format_ps(bound)})")
+        else:
+            print(f"FAIL: {phase}.{key} = {format_ps(value)} exceeds "
+                  f"{format_ps(bound)} (gate {spec!r})", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 def split_tier(name):
@@ -200,6 +356,15 @@ def main():
                     help="single-file tier-vs-scalar speedup mode")
     ap.add_argument("--figures", action="store_true",
                     help="two-file figure-text identity mode")
+    ap.add_argument("--tail", action="store_true",
+                    help="single-file serving tail-latency gate mode")
+    ap.add_argument("--gate", action="append", default=[],
+                    help="tail mode: PHASE.QUANTILE<=BOUND with ps/ns/"
+                         "us/ms suffix, or dropped<=N / completed>=N "
+                         "(repeatable)")
+    ap.add_argument("--sweep-index", type=int, default=0,
+                    help="tail mode: sweep point the gates apply to "
+                         "(default 0, the lowest offered load)")
     ap.add_argument("--min-ratio", type=float, default=None,
                     help="minimum speedup each --require must meet")
     ap.add_argument("--require", action="append", default=[],
@@ -210,8 +375,12 @@ def main():
                          "by more than this percent")
     args = ap.parse_args()
 
-    if args.speedup and args.figures:
-        ap.error("--speedup and --figures are mutually exclusive")
+    if sum((args.speedup, args.figures, args.tail)) > 1:
+        ap.error("--speedup, --figures and --tail are mutually exclusive")
+    if args.tail:
+        if len(args.files) != 1:
+            ap.error("--tail takes exactly one serve JSON file")
+        return run_tail(args)
     if args.speedup:
         if len(args.files) != 1:
             ap.error("--speedup takes exactly one JSON file")

@@ -26,6 +26,25 @@ def bench_json(entries):
     })
 
 
+def serve_json(points):
+    """ansmet-serve-v1 text from [(offered_qps, dropped, total_p99_ps)]."""
+    sweep = []
+    for qps, dropped, p99 in points:
+        phases = {
+            name: {"count": 96, "p50_ps": p99 // 2, "p99_ps": p99,
+                   "p999_ps": p99, "max_ps": p99, "mean_ps": p99 / 2.0}
+            for name in ("queue_wait", "traverse", "offload", "compute",
+                         "collect", "total")
+        }
+        sweep.append({"offered_qps": qps, "achieved_qps": qps * 0.9,
+                      "offered": 96, "completed": 96 - dropped,
+                      "dropped": dropped, "max_occupied_qshrs": 16,
+                      "phases": phases})
+    return json.dumps({"schema": "ansmet-serve-v1", "design": "NDP-ETOpt",
+                       "dataset": "sift", "seed": 1, "process": "poisson",
+                       "sweep": sweep})
+
+
 class TempFiles(unittest.TestCase):
     def setUp(self):
         self._dir = tempfile.TemporaryDirectory()
@@ -180,6 +199,95 @@ class FiguresMode(TempFiles):
         r = run_tool("--figures", a, b)
         self.assertEqual(r.returncode, 2)
         self.assertIn("no figure output", r.stderr)
+
+
+class TailMode(TempFiles):
+    def test_gate_passes_with_unit_suffix(self):
+        # total p99 is 5us = 5e6 ps; a 60us bound passes.
+        f = self.write("s.json", serve_json([(1e6, 0, 5_000_000)]))
+        r = run_tool("--tail", f, "--gate", "total.p99<=60us",
+                     "--gate", "dropped<=0")
+        self.assertEqual(r.returncode, 0)
+        self.assertIn("ok: total.p99_ps", r.stdout)
+        self.assertIn("ok: dropped", r.stdout)
+
+    def test_gate_fails_above_bound(self):
+        f = self.write("s.json", serve_json([(1e6, 0, 70_000_000)]))
+        r = run_tool("--tail", f, "--gate", "total.p99<=60us")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("exceeds", r.stderr)
+
+    def test_units_are_converted(self):
+        # 5e6 ps == 5000 ns == 5 us == 0.005 ms; all four spellings of
+        # the same bound must agree.
+        f = self.write("s.json", serve_json([(1e6, 0, 5_000_000)]))
+        for bound in ("5000000ps", "5000000", "5000ns", "5us", "0.005ms"):
+            r = run_tool("--tail", f, "--gate", f"total.p99<={bound}")
+            self.assertEqual(r.returncode, 0, msg=bound)
+        r = run_tool("--tail", f, "--gate", "total.p99<=4999999ps")
+        self.assertEqual(r.returncode, 1)
+
+    def test_sweep_index_selects_point(self):
+        f = self.write("s.json", serve_json([(1e6, 0, 5_000_000),
+                                             (4e6, 10, 80_000_000)]))
+        r = run_tool("--tail", f, "--gate", "total.p99<=60us")
+        self.assertEqual(r.returncode, 0)  # default: point 0
+        r = run_tool("--tail", f, "--sweep-index", "1",
+                     "--gate", "total.p99<=60us")
+        self.assertEqual(r.returncode, 1)
+        r = run_tool("--tail", f, "--sweep-index", "2",
+                     "--gate", "total.p99<=60us")
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("out of range", r.stderr)
+
+    def test_counter_gates(self):
+        f = self.write("s.json", serve_json([(4e6, 10, 5_000_000)]))
+        r = run_tool("--tail", f, "--gate", "dropped<=0")
+        self.assertEqual(r.returncode, 1)
+        r = run_tool("--tail", f, "--gate", "dropped<=10",
+                     "--gate", "completed>=86")
+        self.assertEqual(r.returncode, 0)
+        r = run_tool("--tail", f, "--gate", "completed>=96")
+        self.assertEqual(r.returncode, 1)
+
+    def test_malformed_gate_exits_2(self):
+        f = self.write("s.json", serve_json([(1e6, 0, 5_000_000)]))
+        for bad in ("bogus", "total.p98<=1us", "total.p99<=fast",
+                    "dropped<=many"):
+            r = run_tool("--tail", f, "--gate", bad)
+            self.assertEqual(r.returncode, 2, msg=bad)
+
+    def test_unknown_phase_fails(self):
+        f = self.write("s.json", serve_json([(1e6, 0, 5_000_000)]))
+        r = run_tool("--tail", f, "--gate", "warmup.p99<=1us")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("not", r.stderr)
+
+    def test_wrong_schema_exits_2(self):
+        f = self.write("s.json", bench_json([("a", 1.0)]))
+        r = run_tool("--tail", f, "--gate", "total.p99<=60us")
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("ansmet-serve-v1", r.stderr)
+
+    def test_empty_sweep_exits_2(self):
+        f = self.write("s.json",
+                       json.dumps({"schema": "ansmet-serve-v1",
+                                   "sweep": []}))
+        r = run_tool("--tail", f)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("sweep is empty", r.stderr)
+
+    def test_no_gates_reports_only(self):
+        f = self.write("s.json", serve_json([(1e6, 0, 5_000_000)]))
+        r = run_tool("--tail", f)
+        self.assertEqual(r.returncode, 0)
+        self.assertIn("offered qps", r.stdout)
+
+    def test_tail_excludes_other_modes(self):
+        f = self.write("s.json", serve_json([(1e6, 0, 5_000_000)]))
+        r = run_tool("--tail", "--speedup", f)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("mutually exclusive", r.stderr)
 
 
 if __name__ == "__main__":
