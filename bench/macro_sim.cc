@@ -166,7 +166,7 @@ BM_Cancel(benchmark::State &state)
         std::vector<std::uint64_t> handles;
         handles.reserve(kOps);
         for (std::uint64_t i = 0; i < kOps; ++i) {
-            handles.push_back(q.schedule(Tick{1 + rng.below(1'000'000)},
+            handles.push_back(q.scheduleCancelable(Tick{1 + rng.below(1'000'000)},
                                          [&executed] { ++executed; }));
             if (i & 1)
                 q.deschedule(handles[i - 1]);

@@ -5,7 +5,6 @@
 #include <istream>
 #include <limits>
 #include <ostream>
-#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/runtime/runtime.h"
@@ -378,33 +377,47 @@ HnswIndex::buildOrdered(const std::vector<unsigned> &levels)
             }
         });
 
-        // Group the back-edges by (target, level), accumulating the
-        // sources in insertion order so the appended runs — and the
-        // shrink decisions they feed — are schedule-independent.
-        std::unordered_map<std::uint64_t, std::vector<VectorId>> incoming;
+        // Group the back-edges by (target, level) with a stable sort
+        // over a flat (key, src) vector: per-key source runs keep
+        // their insertion order, so the appended runs — and the shrink
+        // decisions they feed — are schedule-independent, and the key
+        // walk itself is sorted (an unordered_map here would hand the
+        // keys out in hash-bucket order).
+        std::vector<std::pair<std::uint64_t, VectorId>> incoming;
         for (std::size_t i = 0; i < batch; ++i) {
             const auto v = static_cast<VectorId>(done + i);
             for (std::size_t l = 0; l < plans[i].selected.size(); ++l) {
                 for (const VectorId nb : plans[i].selected[l]) {
-                    incoming[(static_cast<std::uint64_t>(nb) << 6) | l]
-                        .push_back(v);
+                    incoming.emplace_back(
+                        (static_cast<std::uint64_t>(nb) << 6) | l, v);
                 }
             }
         }
-        std::vector<std::uint64_t> keys;
-        keys.reserve(incoming.size());
-        for (const auto &[key, srcs] : incoming)
-            keys.push_back(key);
+        std::stable_sort(incoming.begin(), incoming.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        std::vector<std::pair<std::size_t, std::size_t>> groups;
+        for (std::size_t i = 0; i < incoming.size();) {
+            std::size_t j = i + 1;
+            while (j < incoming.size() &&
+                   incoming[j].first == incoming[i].first)
+                ++j;
+            groups.emplace_back(i, j);
+            i = j;
+        }
 
         // Phase B2 (parallel): targets are distinct across keys, so
         // each append + shrink touches exactly one neighbor list.
-        runtime::parallelFor(0, keys.size(), [&](std::size_t lo, std::size_t hi) {
+        runtime::parallelFor(0, groups.size(), [&](std::size_t lo, std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i) {
-                const auto nb = static_cast<VectorId>(keys[i] >> 6);
-                const auto l = static_cast<unsigned>(keys[i] & 63);
+                const auto [b, e] = groups[i];
+                const std::uint64_t key = incoming[b].first;
+                const auto nb = static_cast<VectorId>(key >> 6);
+                const auto l = static_cast<unsigned>(key & 63);
                 auto &links = nodes_[nb].links[l];
-                for (const VectorId src : incoming[keys[i]])
-                    links.push_back(src);
+                for (std::size_t s = b; s < e; ++s)
+                    links.push_back(incoming[s].second);
                 shrink(nb, l);
             }
         });

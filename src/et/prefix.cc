@@ -62,19 +62,20 @@ PrefixElimination::PrefixElimination(const CommonPrefix &cp,
     : cp_(cp), vs_(vs),
       meta_bits_(cp.length <= 1 ? 0 : bitsFor(cp.length - 1)),
       key_width_(keyBits(cp.type)),
-      outlier_vec_(vs.size(), false)
+      outlier_vec_(vs.size(), false),
+      outlier_slot_(vs.size(), kNoSlot)
 {
     ANSMET_ASSERT(cp.type == vs.type());
     ANSMET_ASSERT(cp.length < key_width_);
 
+    std::vector<std::uint8_t> lens(vs.dims());
     for (std::size_t v = 0; v < vs.size(); ++v) {
         const auto id = static_cast<VectorId>(v);
-        std::vector<std::uint8_t> lens;
         bool any_outlier = false;
         for (unsigned d = 0; d < vs.dims(); ++d) {
             const std::uint32_t key = toKey(cp.type, vs.bitsAt(id, d));
             const unsigned ml = matchedLen(key);
-            lens.push_back(static_cast<std::uint8_t>(ml));
+            lens[d] = static_cast<std::uint8_t>(ml);
             if (ml < cp.length) {
                 any_outlier = true;
                 ++num_outlier_elems_;
@@ -82,7 +83,10 @@ PrefixElimination::PrefixElimination(const CommonPrefix &cp,
         }
         if (any_outlier) {
             outlier_vec_[v] = true;
-            match_len_[id] = std::move(lens);
+            outlier_slot_[v] =
+                static_cast<std::uint32_t>(num_outlier_vecs_);
+            match_len_.insert(match_len_.end(), lens.begin(),
+                              lens.end());
             ++num_outlier_vecs_;
         }
     }
@@ -114,9 +118,9 @@ PrefixElimination::knownLen(VectorId v, unsigned d,
     if (fetched_bits == 0)
         return 0;
     const unsigned payload_fetched = fetched_bits - 1;
-    const auto it = match_len_.find(v);
-    ANSMET_ASSERT(it != match_len_.end());
-    const unsigned ml = it->second[d];
+    ANSMET_ASSERT(outlier_slot_[v] != kNoSlot);
+    const unsigned ml =
+        match_len_[std::size_t{outlier_slot_[v]} * vs_.dims() + d];
 
     if (ml >= p) {
         // Normal element inside an outlier vector: prefix applies, but
@@ -142,8 +146,8 @@ PrefixElimination::maxKnownLen(VectorId v, unsigned d) const
     if (!outlier_vec_[v])
         return key_width_;
 
-    const auto it = match_len_.find(v);
-    const unsigned ml = it->second[d];
+    const unsigned ml =
+        match_len_[std::size_t{outlier_slot_[v]} * vs_.dims() + d];
     if (ml >= p)
         return std::min(p + (budget - 1), key_width_);
     if (budget <= 1 + meta_bits_)

@@ -24,7 +24,6 @@
 #define ANSMET_ET_PREFIX_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "anns/vector.h"
@@ -108,8 +107,14 @@ class PrefixElimination
     unsigned meta_bits_;
     unsigned key_width_;
     std::vector<bool> outlier_vec_;
-    // matchLen per element, only for outlier vectors.
-    std::unordered_map<VectorId, std::vector<std::uint8_t>> match_len_;
+    // matchLen per element, stored only for outlier vectors as a dense
+    // side table: outlier_slot_[v] is the vector's ordinal among the
+    // outliers (kNoSlot for normal vectors) and match_len_ holds
+    // dims() bytes per slot, in slot order. Slot order is id order, so
+    // lookup is O(1) and any walk over the table is deterministic.
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+    std::vector<std::uint32_t> outlier_slot_;
+    std::vector<std::uint8_t> match_len_;
     std::size_t num_outlier_vecs_ = 0;
     std::size_t num_outlier_elems_ = 0;
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/prng.h"
@@ -238,16 +237,25 @@ buildProfile(const anns::VectorSet &vs, anns::Metric metric,
         for (unsigned d = 0; d < vs.dims(); ++d)
             keys.push_back(toKey(vs.type(), vs.bitsAt(v, d)));
 
+    // Sorted run-length counting: summation order is ascending prefix
+    // value, so the floating-point entropy sum is schedule- and
+    // hash-independent (iterating an unordered_map here would make the
+    // sum depend on bucket order).
     prof.prefixEntropy.resize(w);
+    std::vector<std::uint32_t> shifted(keys.size());
     for (unsigned len = 1; len <= w; ++len) {
-        std::unordered_map<std::uint32_t, std::size_t> freq;
-        for (const std::uint32_t k : keys)
-            ++freq[k >> (w - len)];
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            shifted[i] = keys[i] >> (w - len);
+        std::sort(shifted.begin(), shifted.end());
         double h = 0.0;
-        for (const auto &[val, cnt] : freq) {
-            const double p =
-                static_cast<double>(cnt) / static_cast<double>(keys.size());
+        for (std::size_t i = 0; i < shifted.size();) {
+            std::size_t j = i + 1;
+            while (j < shifted.size() && shifted[j] == shifted[i])
+                ++j;
+            const double p = static_cast<double>(j - i) /
+                             static_cast<double>(keys.size());
             h -= p * std::log2(p);
+            i = j;
         }
         prof.prefixEntropy[len - 1] = h; // raw entropy in bits
     }

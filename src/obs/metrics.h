@@ -61,7 +61,7 @@ struct HistogramData
      * log2 error bound the recorder tests assert. Returns 0 when
      * empty.
      */
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     quantile(double q) const
     {
         if (count == 0)

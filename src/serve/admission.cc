@@ -36,8 +36,8 @@ AdmissionScheduler::AdmissionScheduler(const AdmissionConfig &cfg)
 }
 
 bool
-AdmissionScheduler::offer(std::uint64_t queryId, std::size_t traceIdx,
-                          Tick now)
+AdmissionScheduler::tryOffer(std::uint64_t queryId, std::size_t traceIdx,
+                             Tick now)
 {
     ++offered_;
     ANSMET_CHECK(live_ids_.insert(queryId).second,

@@ -25,7 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <unordered_set>
+#include <set>
 
 #include "common/types.h"
 #include "obs/metrics.h"
@@ -60,18 +60,23 @@ class AdmissionScheduler
 
     /**
      * Offer an arrival to the queue. Returns false (and counts a
-     * drop) when the queue is full. Offering a query id that is
-     * already queued or in flight is a caller bug and CHECK-fails:
-     * admitting one query twice would double-free its slot.
+     * drop) when the queue is full; the result must be checked (lint
+     * R11) — a caller that ignores it cannot tell an enqueued query
+     * from a dropped one. Offering a query id that is already queued
+     * or in flight is a caller bug and CHECK-fails: admitting one
+     * query twice would double-free its slot.
      */
-    bool offer(std::uint64_t queryId, std::size_t traceIdx, Tick now);
+    [[nodiscard]] bool tryOffer(std::uint64_t queryId,
+                                std::size_t traceIdx, Tick now);
 
     /**
      * Admit the longest-waiting queued query onto the lowest free
      * slot, or nullopt when the queue is empty or every slot is
-     * occupied. Never exceeds maxInFlight() in-flight queries.
+     * occupied. Never exceeds maxInFlight() in-flight queries. The
+     * result carries the slot binding; discarding it would leak the
+     * slot (lint R11).
      */
-    std::optional<Admitted> admitNext(Tick now);
+    [[nodiscard]] std::optional<Admitted> admitNext(Tick now);
 
     /** Return @p slot to the free pool when its query completes. */
     void release(unsigned slot, std::uint64_t queryId);
@@ -96,8 +101,10 @@ class AdmissionScheduler
     std::uint64_t offered_ = 0;
     std::uint64_t admitted_ = 0;
     std::uint64_t dropped_ = 0;
-    /** Ids queued or in flight; guards against double admission. */
-    std::unordered_set<std::uint64_t> live_ids_;
+    /** Ids queued or in flight; guards against double admission.
+     *  Ordered set: lookups only today, but should anyone iterate it,
+     *  the order is the id order, not hash-bucket order (R9). */
+    std::set<std::uint64_t> live_ids_;
 
     obs::Counter m_admitted_;
     obs::Counter m_dropped_;

@@ -52,8 +52,10 @@ class Driver
     onArrival(const Arrival &a)
     {
         const Tick now = sys_.eventQueue().now();
-        adm_.offer(a.queryId, a.traceIdx, now);
-        pump();
+        // A dropped arrival enqueues nothing, so there is nothing to
+        // pump: every slot release already pumps for itself.
+        if (adm_.tryOffer(a.queryId, a.traceIdx, now))
+            pump();
     }
 
     /** Admit while a slot and a queued arrival are both available. */

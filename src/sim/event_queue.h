@@ -78,11 +78,27 @@ class EventQueue
     std::size_t pending() const { return live_; }
 
     /**
-     * Schedule @p cb at absolute time @p when (>= now).
-     * @return a handle usable with deschedule().
+     * Schedule @p cb at absolute time @p when (>= now), fire-and-
+     * forget. Use scheduleCancelable() when the event may need to be
+     * descheduled — only that variant hands out a handle, and its
+     * result is [[nodiscard]] (lint R11): a dropped handle means the
+     * event can never be cancelled again.
      */
-    std::uint64_t
+    void
     schedule(Tick when, Callback cb, Priority prio = kDefaultPriority)
+    {
+        static_cast<void>(
+            scheduleCancelable(when, std::move(cb), prio));
+    }
+
+    /**
+     * Schedule @p cb at absolute time @p when (>= now).
+     * @return a handle usable with deschedule(); must not be
+     *         discarded (use schedule() for fire-and-forget events).
+     */
+    [[nodiscard]] std::uint64_t
+    scheduleCancelable(Tick when, Callback cb,
+                       Priority prio = kDefaultPriority)
     {
         ANSMET_CHECK(when >= now_, "scheduling in the past: ", when,
                      " < ", now_);
@@ -107,12 +123,20 @@ class EventQueue
         return (static_cast<std::uint64_t>(r.gen) << 32) | slot;
     }
 
-    /** Schedule @p delta ticks from now. */
-    std::uint64_t
+    /** Schedule @p delta ticks from now, fire-and-forget. */
+    void
     scheduleIn(TickDelta delta, Callback cb,
                Priority prio = kDefaultPriority)
     {
-        return schedule(now_ + delta, std::move(cb), prio);
+        schedule(now_ + delta, std::move(cb), prio);
+    }
+
+    /** Schedule @p delta ticks from now; returns a deschedule handle. */
+    [[nodiscard]] std::uint64_t
+    scheduleInCancelable(TickDelta delta, Callback cb,
+                         Priority prio = kDefaultPriority)
+    {
+        return scheduleCancelable(now_ + delta, std::move(cb), prio);
     }
 
     /**

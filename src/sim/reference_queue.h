@@ -41,8 +41,16 @@ class ReferenceEventQueue
 
     std::size_t pending() const { return heap_.size(); }
 
-    std::uint64_t
+    /** Fire-and-forget; mirrors EventQueue's split schedule API. */
+    void
     schedule(Tick when, Callback cb, Priority prio = 0)
+    {
+        static_cast<void>(
+            scheduleCancelable(when, std::move(cb), prio));
+    }
+
+    [[nodiscard]] std::uint64_t
+    scheduleCancelable(Tick when, Callback cb, Priority prio = 0)
     {
         ANSMET_CHECK(when >= now_, "scheduling in the past: ", when,
                      " < ", now_);
@@ -51,10 +59,16 @@ class ReferenceEventQueue
         return id;
     }
 
-    std::uint64_t
+    void
     scheduleIn(TickDelta delta, Callback cb, Priority prio = 0)
     {
-        return schedule(now_ + delta, std::move(cb), prio);
+        schedule(now_ + delta, std::move(cb), prio);
+    }
+
+    [[nodiscard]] std::uint64_t
+    scheduleInCancelable(TickDelta delta, Callback cb, Priority prio = 0)
+    {
+        return scheduleCancelable(now_ + delta, std::move(cb), prio);
     }
 
     /** Cancel a pending event by handle (lazy deletion). */

@@ -225,7 +225,7 @@ TEST(EventQueue, Deschedule)
 {
     sim::EventQueue eq;
     int hits = 0;
-    const auto id = eq.schedule(Tick{5}, [&] { ++hits; });
+    const auto id = eq.scheduleCancelable(Tick{5}, [&] { ++hits; });
     eq.deschedule(id);
     eq.schedule(Tick{6}, [&] { ++hits; });
     eq.run();

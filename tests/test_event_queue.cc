@@ -87,7 +87,7 @@ TEST(EventQueue, DeschedulePreventsExecution)
 {
     EventQueue eq;
     bool ran = false;
-    const auto id = eq.schedule(Tick{10}, [&] { ran = true; });
+    const auto id = eq.scheduleCancelable(Tick{10}, [&] { ran = true; });
     eq.schedule(Tick{5}, [&, id] { eq.deschedule(id); });
     eq.run();
     EXPECT_FALSE(ran);
@@ -186,7 +186,7 @@ TEST(EventQueue, DescheduleStressReleasesPendingImmediately)
     std::vector<std::uint64_t> ids;
     ids.reserve(kN);
     for (std::size_t i = 0; i < kN; ++i) {
-        ids.push_back(eq.schedule(Tick{1 + (i % 1000) * 100},
+        ids.push_back(eq.scheduleCancelable(Tick{1 + (i % 1000) * 100},
                                   [&executed] { ++executed; }));
     }
     ASSERT_EQ(eq.pending(), kN);
@@ -203,7 +203,7 @@ TEST(EventQueue, DoubleDescheduleCountsOnce)
     EventQueue eq;
     bool ran = false;
     eq.schedule(Tick{1}, [&ran] { ran = true; });
-    const auto id = eq.schedule(Tick{2}, [] {});
+    const auto id = eq.scheduleCancelable(Tick{2}, [] {});
     eq.deschedule(id);
     eq.deschedule(id); // second cancel of the same handle: no-op
     EXPECT_EQ(eq.pending(), 1u);
@@ -215,7 +215,7 @@ TEST(EventQueue, DoubleDescheduleCountsOnce)
 TEST(EventQueue, StaleHandleAfterExecutionIsANoOp)
 {
     EventQueue eq;
-    const auto stale = eq.schedule(Tick{1}, [] {});
+    const auto stale = eq.scheduleCancelable(Tick{1}, [] {});
     eq.run();
     // The next schedule reuses the released slot; the old handle's
     // generation no longer matches and must not cancel it.
@@ -269,7 +269,7 @@ struct ParityDriver
         const unsigned label = scheduled++;
         const TickDelta delta = draw();
         const int prio = static_cast<int>(rng.below(3)) - 1;
-        handles.push_back(q.scheduleIn(
+        handles.push_back(q.scheduleInCancelable(
             delta, [this, label] { fire(label); }, prio));
     }
 

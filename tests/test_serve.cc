@@ -157,7 +157,7 @@ TEST(Admission, NeverExceedsQshrBudget)
     EXPECT_EQ(adm.maxInFlight(), 16u);
 
     for (std::uint64_t id = 0; id < 100; ++id)
-        EXPECT_TRUE(adm.offer(id, 0, Tick{id}));
+        EXPECT_TRUE(adm.tryOffer(id, 0, Tick{id}));
 
     // Drain: admission stops exactly at the QSHR budget.
     std::vector<unsigned> slots;
@@ -186,13 +186,13 @@ TEST(Admission, BoundedQueueDropsWhenFull)
     cfg.queueCapacity = 4;
     serve::AdmissionScheduler adm(cfg);
     for (std::uint64_t id = 0; id < 4; ++id)
-        EXPECT_TRUE(adm.offer(id, 0, Tick{}));
-    EXPECT_FALSE(adm.offer(99, 0, Tick{}));
+        EXPECT_TRUE(adm.tryOffer(id, 0, Tick{}));
+    EXPECT_FALSE(adm.tryOffer(99, 0, Tick{}));
     EXPECT_EQ(adm.dropped(), 1u);
     EXPECT_EQ(adm.queueDepth(), 4u);
     // A dropped id was never retained: offering it again is legal.
     EXPECT_EQ(adm.admitNext(Tick{}).has_value(), true);
-    EXPECT_TRUE(adm.offer(99, 0, Tick{}));
+    EXPECT_TRUE(adm.tryOffer(99, 0, Tick{}));
 }
 
 TEST(Admission, FifoPreservesArrivalOrder)
@@ -201,7 +201,7 @@ TEST(Admission, FifoPreservesArrivalOrder)
     cfg.queueCapacity = 64;
     serve::AdmissionScheduler adm(cfg);
     for (std::uint64_t id = 0; id < 40; ++id)
-        adm.offer(id, 0, Tick{id});
+        ASSERT_TRUE(adm.tryOffer(id, 0, Tick{id}));
     std::uint64_t expect = 0;
     while (auto a = adm.admitNext(Tick{100}))
         EXPECT_EQ(a->queryId, expect++);
@@ -219,8 +219,8 @@ TEST(AdmissionDeathTest, DoubleAdmissionOfSameQueryIdDies)
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     serve::AdmissionConfig cfg;
     serve::AdmissionScheduler adm(cfg);
-    ASSERT_TRUE(adm.offer(7, 0, Tick{}));
-    EXPECT_DEATH(adm.offer(7, 1, Tick{}),
+    ASSERT_TRUE(adm.tryOffer(7, 0, Tick{}));
+    EXPECT_DEATH((void)adm.tryOffer(7, 1, Tick{}),
                  "offered while already queued or in flight");
 }
 

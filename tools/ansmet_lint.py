@@ -62,6 +62,41 @@ conventions that neither the compiler nor clang-tidy checks:
                            enclosing frame is gone, so its lambda must
                            not capture by reference ([&], [&x],
                            [&x = ...]); capture by value or [this].
+  R9  ansmet-detflow       No nondeterministic value may flow into
+                           simulated state in the deterministic
+                           directories. Two layers: any std::unordered_*
+                           container mention is flagged at the
+                           declaration (bucket order is the hazard), and
+                           a conservative interprocedural taint pass
+                           tracks values derived from unordered-
+                           container iteration, pointer-to-integer
+                           casts, std::hash over pointers, and thread
+                           ids through assignments, returns, and
+                           same-file calls into sinks: event-scheduling
+                           arguments, simulator state writes (members
+                           named `*_`), and obs-recorded values.
+  R10 ansmet-checkpure     No side effect inside the arguments of
+                           ANSMET_DCHECK* : audit-off builds skip the
+                           whole expression (common/check.h gates it on
+                           auditEnabled()), so `++`, assignments, and
+                           mutating calls (pop(), erase(), next(), ...)
+                           silently disappear in release runs.
+  R11 ansmet-mustuse       Results that encode an outcome must be
+                           checked: MpscChannel::tryPush,
+                           AdmissionScheduler::tryOffer / admitNext,
+                           HistogramData::quantile, and the cancelable
+                           EventQueue schedule variants. Enforced twice:
+                           [[nodiscard]] in the headers and this rule
+                           for expression-statement discards; `(void)`
+                           is the explicit acknowledgement.
+  R12 ansmet-cbblock       Deferred callbacks (schedule()/scheduleIn()
+                           arguments and onComplete fields) in the
+                           sim-hot directories must not block: no
+                           MutexLock/ReaderLock/WriterLock acquisition,
+                           no .wait() parking, and no call to a
+                           same-file function that (transitively,
+                           file-locally) acquires a lock. Atomics and
+                           seqlock reads are naturally exempt.
 
 Suppression: a finding is waived by `// NOLINT(<rule>): reason` on the
 same line or `// NOLINTNEXTLINE(<rule>): reason` on the line above,
@@ -80,6 +115,21 @@ structural analysis alone, so lexical-engine findings are always a
 superset of libclang-engine findings. `--engine libclang` makes
 libclang mandatory and SKIPS with exit 0 when it is absent, mirroring
 tools/run_tidy.sh's behavior when clang-tidy is missing.
+
+Output: `--format text` (default) prints one line per finding;
+`--format sarif` emits a SARIF 2.1.0 log (for code-scanning upload).
+`--output FILE` redirects either format to a file.
+
+Caching: per-file results (findings + lock facts) are memoized under
+<repo>/.ansmet_cache/lint/, keyed by the file's content hash, the
+engine, and a fingerprint of this script — so a re-run over an
+unchanged tree re-reports identical findings without re-analysis, and
+any edit to a file or to the linter invalidates exactly the right
+entries. Cross-file passes (R7 lock order) always re-run over the
+cached facts, so caching never changes the result. `--no-cache`
+disables it; `--changed-only` restricts the scan to files changed vs
+git HEAD (plus untracked) for fast local iteration — the lock-order
+graph then only sees those files, so CI keeps the full scan.
 
 Exit status: 0 clean (or skipped), 1 findings, 2 usage error.
 """
@@ -149,7 +199,8 @@ THREAD_EXEMPT_FILES = (
 # simulated hot path.
 SIM_HOT_DIRS = ("src/sim", "src/ndp", "src/dram", "src/cpu", "src/core",
                 "src/cache")
-SCHEDULE_CALLS = ("schedule", "scheduleIn")
+SCHEDULE_CALLS = ("schedule", "scheduleIn", "scheduleCancelable",
+                  "scheduleInCancelable")
 
 # R6: call name -> zero-based index of its Tick/TickDelta argument.
 # The schedule() priority argument and DRAM bank-address/is_write
@@ -158,6 +209,8 @@ SCHEDULE_CALLS = ("schedule", "scheduleIn")
 TIME_ARG_CALLS = {
     "schedule": 0,
     "scheduleIn": 0,
+    "scheduleCancelable": 0,
+    "scheduleInCancelable": 0,
     "catchUpRefresh": 0,
     "earliestAct": 1,
     "earliestPre": 1,
@@ -175,6 +228,58 @@ REQUIRES_MACROS = {"ANSMET_REQUIRES", "ANSMET_REQUIRES_SHARED"}
 # assigning frame (dram::Request::onComplete, ndp::NdpTask::onComplete).
 CALLBACK_FIELDS = {"onComplete"}
 
+# R9: unordered containers whose iteration order is the hazard.
+UNORDERED_CONTAINERS = {"unordered_map", "unordered_set",
+                        "unordered_multimap", "unordered_multiset"}
+# Iterating is the leak; find()/count()/at() lookups stay deterministic.
+_ITER_METHODS = {"begin", "end", "cbegin", "cend", "rbegin", "rend"}
+_NONDET_CALLS = {"get_id", "pthread_self"}
+# reinterpret_cast<T>(ptr) where T is integral = address bits escaping.
+_INT_CAST_TARGETS = {"uintptr_t", "intptr_t", "size_t", "ptrdiff_t",
+                     "uint64_t", "uint32_t", "int64_t", "int32_t",
+                     "unsigned", "long", "int", "short"}
+# Methods through which a tainted element taints its container.
+_GROW_METHODS = {"push_back", "emplace_back", "push_front",
+                 "emplace_front", "insert", "emplace", "push",
+                 "assign", "append"}
+# obs recording surfaces (Counter/Gauge/Histogram/TraceWriter).
+_OBS_RECORD_METHODS = {"record", "inc", "add", "set", "observe"}
+# Ids never worth tainting in a range-for declaration (type furniture).
+_TYPEISH_IDS = {"auto", "const", "std", "size_t", "uint8_t", "uint16_t",
+                "uint32_t", "uint64_t", "int8_t", "int16_t", "int32_t",
+                "int64_t", "unsigned", "signed", "int", "long", "short",
+                "char", "bool", "float", "double", "pair", "tuple",
+                "string", "string_view"}
+
+# R10: ANSMET_DCHECK* arguments vanish in audit-off builds; these
+# member calls mutate their receiver, so calling them there loses the
+# effect silently (Prng::next() included: it advances the stream).
+_DCHECK_PREFIX = "ANSMET_DCHECK"
+_MUTATING_METHODS = {"pop", "tryPop", "push", "tryPush", "tryOffer",
+                     "pop_back", "pop_front", "push_back", "push_front",
+                     "emplace", "emplace_back", "erase", "insert",
+                     "clear", "reset", "release", "consume", "advance",
+                     "store", "exchange", "fetch_add", "fetch_sub",
+                     "next"}
+
+# R11: results that encode an outcome the caller cannot infer any
+# other way. Enforced by [[nodiscard]] in the headers AND here (the
+# linter also sees discards that a cast-to-void would hide from -W).
+MUST_CHECK = {
+    "tryPush": "false means the value was NOT enqueued",
+    "tryOffer": "false means the arrival was dropped, not queued",
+    "admitNext": "the result carries the admitted query's slot binding",
+    "quantile": "the estimate is the call's only product",
+    "scheduleCancelable": "a dropped handle can never be descheduled",
+    "scheduleInCancelable": "a dropped handle can never be descheduled",
+}
+_CONSUME_KEYWORDS = {"return", "throw", "co_return", "co_yield"}
+_STMT_KEYWORDS = {"else", "do"}
+
+# R12: parking calls banned inside deferred callbacks (TaskGroup::wait
+# and friends); lock RAII comes from LOCK_CLASSES above.
+_BLOCKING_WAITS = {"wait", "waitAll"}
+
 RULES = {
     "R1": "ansmet-determinism",
     "R2": "ansmet-rawnew",
@@ -184,6 +289,10 @@ RULES = {
     "R6": "ansmet-tickunits",
     "R7": "ansmet-lockorder",
     "R8": "ansmet-danglecapture",
+    "R9": "ansmet-detflow",
+    "R10": "ansmet-checkpure",
+    "R11": "ansmet-mustuse",
+    "R12": "ansmet-cbblock",
 }
 
 NOLINT_RE = re.compile(
@@ -497,6 +606,46 @@ def skip_balanced(code, i, open_s, close_s):
     return None
 
 
+def _tok_at(code, k):
+    """Spelling of code[k], or '' when out of range."""
+    return code[k].spelling if 0 <= k < len(code) else ""
+
+
+def _match_backward(code, j, open_s, close_s):
+    """code[j] must be close_s; return the index of its matching
+    open_s, or None when unbalanced."""
+    depth = 0
+    while j >= 0:
+        s = code[j].spelling
+        if s == close_s:
+            depth += 1
+        elif s == open_s:
+            depth -= 1
+            if depth == 0:
+                return j
+        j -= 1
+    return None
+
+
+def _skip_angles(code, i, hi):
+    """code[i] must be '<'; return the index just past the matching
+    '>' (template argument list), or None. Bails at ';' or '{' so a
+    stray less-than comparison cannot swallow the file."""
+    depth = 0
+    while i < hi:
+        s = code[i].spelling
+        if s == "<":
+            depth += 1
+        elif s == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif s in (";", "{"):
+            return None
+        i += 1
+    return None
+
+
 def split_top_commas(arg_tokens):
     """Split an argument token slice at depth-zero commas."""
     args = []
@@ -752,7 +901,8 @@ _CONTROL = {
 
 class FuncInfo:
     __slots__ = ("name", "owner", "path", "acquisitions", "calls",
-                 "requires")
+                 "requires", "params", "body", "t_returns",
+                 "t_param_sink")
 
     def __init__(self, name, owner, path):
         self.name = name  # "Class::method" or bare function name
@@ -764,6 +914,13 @@ class FuncInfo:
         #  frozenset(locks held))
         self.calls = []
         self.requires = set()  # ANSMET_REQUIRES locks, held body-wide
+        self.params = []  # parameter names, in declaration order
+        self.body = (0, 0)  # [start, end) into the file's code tokens
+        # R9 taint summary: labels a return value may carry ("src" or
+        # a parameter index), and param index -> sink description for
+        # parameters that reach a sink inside this function.
+        self.t_returns = set()
+        self.t_param_sink = {}
 
 
 def _qualify(owner, expr):
@@ -834,12 +991,15 @@ def _scan_function_body(code, body_start, owner, func):
     return n
 
 
-def parse_lock_functions(path, tokens):
+def parse_lock_functions(path, tokens, code=None):
     """Structural parse of one file: function definitions with their
-    scoped-lock acquisitions, ANSMET_REQUIRES preconditions, and the
-    calls made under held locks. Tolerant by construction — anything it
-    cannot prove to be a function definition is skipped."""
-    code = code_tokens(tokens)
+    scoped-lock acquisitions, ANSMET_REQUIRES preconditions, the calls
+    made under held locks, parameter names, and body token ranges (the
+    R9/R12 passes index into the same code-token list). Tolerant by
+    construction — anything it cannot prove to be a function definition
+    is skipped."""
+    if code is None:
+        code = code_tokens(tokens)
     n = len(code)
     funcs = []
     class_stack = []  # (name, depth inside the class body)
@@ -936,7 +1096,18 @@ def _try_parse_function(path, code, i, class_stack):
         return None
     func = FuncInfo(f"{owner}::{name}" if owner else name, owner, path)
     func.requires = requires
+    for slice_ in split_top_commas(code[i + 2:params_end - 1]):
+        ids = []
+        for tk in slice_:
+            if tk.spelling == "=":
+                break  # default argument: the name precedes it
+            if tk.kind == "id":
+                ids.append(tk.spelling)
+        # The parameter name is the last identifier of the declarator
+        # (`const std::vector<int> &xs` -> xs); unnamed params keep "".
+        func.params.append(ids[-1] if ids else "")
     body_end = _scan_function_body(code, k, owner, func)
+    func.body = (k, body_end)
     return func, body_end
 
 
@@ -1143,6 +1314,680 @@ def check_dangle_capture(path, tokens, waived, findings):
 
 
 # --------------------------------------------------------------------
+# R9 ansmet-detflow: nondeterministic values flowing into simulated
+# state (conservative interprocedural taint over the token stream)
+# --------------------------------------------------------------------
+#
+# Conservatism contract (see DESIGN.md): any expression CONTAINING a
+# tainted subexpression is tainted (no sanitization, no kill); taint
+# propagates through assignments (incl. compound and container-grow
+# calls), returns, and calls resolvable inside the same file (bare
+# names, this->, and Class:: qualified — member calls on other objects
+# are deliberately NOT resolved). Labels are "src" (a concrete
+# nondeterminism source) or an integer parameter index; a finding is
+# reported where a "src"-labelled value meets a sink, either directly
+# or through a callee whose parameter summary reaches one.
+
+
+def _source_at(code, j, hi, unordered):
+    """True when code[j] heads a nondeterminism source expression."""
+    t = code[j]
+    s = t.spelling
+
+    def at(k):
+        return code[k].spelling if k < hi else ""
+
+    if s in unordered:
+        if at(j + 1) == "." and at(j + 2) in _ITER_METHODS:
+            return True
+        if (at(j + 1) == "-" and at(j + 2) == ">" and
+                at(j + 3) in _ITER_METHODS):
+            return True
+        return False
+    if s in _NONDET_CALLS and at(j + 1) == "(":
+        return True
+    if s == "hash" and at(j + 1) == "<":
+        end = _skip_angles(code, j + 1, hi)
+        return end is not None and any(
+            code[k].spelling == "*" for k in range(j + 2, end - 1))
+    if s == "reinterpret_cast" and at(j + 1) == "<":
+        end = _skip_angles(code, j + 1, hi)
+        if end is None:
+            return False
+        tgt = code[j + 2:end - 1]
+        has_int = any(tk.spelling in _INT_CAST_TARGETS for tk in tgt)
+        has_ind = any(tk.spelling in ("*", "&") for tk in tgt)
+        return has_int and not has_ind
+    return False
+
+
+def collect_unordered_names(code):
+    """Names declared with an unordered container type anywhere in the
+    file (members, locals, parameters). Name-based, not scope-aware —
+    conservative by design."""
+    names = set()
+    n = len(code)
+    for idx, tok in enumerate(code):
+        if tok.kind != "id" or tok.spelling not in UNORDERED_CONTAINERS:
+            continue
+        j = idx + 1
+        if _tok_at(code, j) == "<":
+            e = _skip_angles(code, j, min(n, j + 256))
+            if e is None:
+                continue
+            j = e
+        while j < n and code[j].spelling in ("&", "*", "const"):
+            j += 1
+        if j < n and code[j].kind == "id":
+            names.add(code[j].spelling)
+    return names
+
+
+class _TaintPass:
+    """One file's interprocedural taint analysis (R9)."""
+
+    def __init__(self, path, code, funcs, unordered, waived):
+        self.path = path
+        self.code = code
+        self.funcs = funcs
+        self.unordered = unordered
+        self.waived = waived
+        self.found = {}  # (line, message) -> None; insertion-ordered
+        self.by_last = {}
+        for f in funcs:
+            self.by_last.setdefault(f.name.split("::")[-1],
+                                    []).append(f)
+
+    def resolve(self, callee, qual, owner):
+        """Same resolution discipline as the lock-order pass: an
+        explicit qualifier pins the owner; a bare call resolves to the
+        caller's own class or to free functions."""
+        out = []
+        for g in self.by_last.get(callee, ()):
+            if qual is not None:
+                if g.owner == qual:
+                    out.append(g)
+            elif g.owner is None or g.owner == owner:
+                out.append(g)
+        return out
+
+    def run(self, findings):
+        for f in self.funcs:
+            f.t_returns = set()
+            f.t_param_sink = {}
+        for _ in range(8):  # cross-function fixpoint over summaries
+            before = [(frozenset(f.t_returns),
+                       tuple(sorted(f.t_param_sink)))
+                      for f in self.funcs]
+            for f in self.funcs:
+                self._analyze(f)
+            after = [(frozenset(f.t_returns),
+                      tuple(sorted(f.t_param_sink)))
+                     for f in self.funcs]
+            if after == before:
+                break
+        for (line, message) in self.found:
+            if not is_waived(self.waived, RULES["R9"], line):
+                findings.append(Finding(self.path, line, "R9", message))
+
+    # -- per-function ------------------------------------------------
+
+    def _analyze(self, f):
+        env = {p: {k} for k, p in enumerate(f.params) if p}
+        for _ in range(8):  # intra-function fixpoint
+            snap = {k: set(v) for k, v in env.items()}
+            rsnap = set(f.t_returns)
+            psnap = dict(f.t_param_sink)
+            self._walk(f, env)
+            if (env == snap and f.t_returns == rsnap and
+                    f.t_param_sink == psnap):
+                break
+
+    def _walk(self, f, env):
+        code = self.code
+        lo, hi = f.body
+        j = lo
+        while j < hi:
+            t = code[j]
+            s = t.spelling
+            if t.kind == "id" and s == "for" and \
+                    _tok_at(code, j + 1) == "(":
+                j = self._range_for(f, env, j, hi)
+                continue
+            if t.kind == "id" and s == "return":
+                end = self._stmt_end(j + 1, hi)
+                f.t_returns |= self._labels(f, env, code[j + 1:end])
+                j = end
+                continue
+            if s == "=" and self._is_assign(j):
+                self._assign(f, env, j, hi)
+                j += 1
+                continue
+            if t.kind == "id" and _tok_at(code, j + 1) == "(":
+                self._call_site(f, env, j, hi)
+            j += 1
+
+    def _is_assign(self, j):
+        code = self.code
+        nxt = _tok_at(code, j + 1)
+        prv = _tok_at(code, j - 1)
+        if nxt == "=" or prv in ("=", "<", ">", "!"):
+            return False  # ==, <=, >=, !=
+        if prv in ("[", "operator") or nxt == "]":
+            return False  # [=] capture, operator=
+        return True
+
+    def _stmt_end(self, j, hi):
+        code = self.code
+        depth = 0
+        while j < hi:
+            s = code[j].spelling
+            if s in "([{":
+                depth += 1
+            elif s in ")]}":
+                if depth == 0:
+                    return j
+                depth -= 1
+            elif s in (";", ",") and depth == 0:
+                return j
+            j += 1
+        return hi
+
+    def _sink(self, f, labels, line, what):
+        if "src" in labels:
+            self.found[(line,
+                        f"nondeterministic value (derived from "
+                        f"unordered-container iteration order, pointer "
+                        f"bits, or a thread id) flows into {what}; "
+                        f"simulated outcomes must not depend on "
+                        f"it")] = None
+        for lbl in labels:
+            if isinstance(lbl, int):
+                f.t_param_sink.setdefault(lbl, what)
+
+    def _range_for(self, f, env, j, hi):
+        code = self.code
+        pe = skip_balanced(code, j + 1, "(", ")")
+        if pe is None or pe > hi:
+            return j + 1
+        inner = code[j + 2:pe - 1]
+        ci = None
+        for k, t in enumerate(inner):
+            if (t.spelling == ":" and
+                    _tok_at(inner, k - 1) != ":" and
+                    _tok_at(inner, k + 1) != ":"):
+                ci = k
+                break
+        if ci is None:
+            return j + 1  # classic for; the main walk scans its parts
+        decl, rng = inner[:ci], inner[ci + 1:]
+        labels = set(self._labels(f, env, rng))
+        if any(t.kind == "id" and t.spelling in self.unordered
+               for t in rng):
+            labels.add("src")
+        if labels:
+            for t in decl:
+                if t.kind == "id" and t.spelling not in _TYPEISH_IDS:
+                    env.setdefault(t.spelling, set()).update(labels)
+        return pe
+
+    def _assign(self, f, env, j, hi):
+        code = self.code
+        k = j - 1
+        if code[k].spelling in "+-*/%&|^":
+            k -= 1  # compound assignment: +=, |=, ...
+        while k >= 0 and code[k].spelling == "]":
+            op = _match_backward(code, k, "[", "]")
+            if op is None:
+                return
+            k = op - 1
+        if k < 0 or code[k].kind != "id":
+            return
+        target = code[k].spelling
+        end = self._stmt_end(j + 1, hi)
+        labels = self._labels(f, env, code[j + 1:end])
+        if not labels:
+            return
+        env.setdefault(target, set()).update(labels)
+        if target.endswith("_"):
+            self._sink(f, labels, code[j].line,
+                       f"the simulator state member '{target}'")
+
+    def _call_shape(self, j):
+        """Classify the call headed at code[j]: (member, this_call,
+        qual) — member call on another object, explicit this-> call,
+        or Class:: qualifier."""
+        code = self.code
+        prv = _tok_at(code, j - 1)
+        member = prv == "." or (prv == ">" and
+                                _tok_at(code, j - 2) == "-")
+        this_call = (prv == ">" and _tok_at(code, j - 2) == "-" and
+                     _tok_at(code, j - 3) == "this")
+        qual = None
+        if (prv == ":" and _tok_at(code, j - 2) == ":" and
+                j >= 3 and code[j - 3].kind == "id" and
+                code[j - 3].spelling != "std"):
+            qual = code[j - 3].spelling
+        return member, this_call, qual
+
+    def _call_site(self, f, env, j, hi):
+        code = self.code
+        s = code[j].spelling
+        if s in _CONTROL or s in LOCK_CLASSES:
+            return
+        end = skip_balanced(code, j + 1, "(", ")")
+        if end is None:
+            return
+        args = (split_top_commas(code[j + 2:end - 1])
+                if end - 1 > j + 2 else [])
+        member, this_call, qual = self._call_shape(j)
+        if s in SCHEDULE_CALLS:
+            for a_i, a in enumerate(args):
+                self._sink(f, self._labels(f, env, a), code[j].line,
+                           f"argument {a_i + 1} of {s}() "
+                           f"(event scheduling)")
+            return
+        if member and not this_call and s in _OBS_RECORD_METHODS:
+            for a in args:
+                self._sink(f, self._labels(f, env, a), code[j].line,
+                           f"the obs-recorded value of .{s}()")
+            return
+        if member and not this_call and s in _GROW_METHODS:
+            # recv.push_back(tainted) taints recv; growing a member
+            # container is also a state write (the insertion ORDER is
+            # what replay depends on).
+            k = j - 2 if _tok_at(code, j - 1) == "." else j - 3
+            if k >= 0 and code[k].kind == "id":
+                recv = code[k].spelling
+                labels = set()
+                for a in args:
+                    labels |= self._labels(f, env, a)
+                if labels:
+                    env.setdefault(recv, set()).update(labels)
+                    if recv.endswith("_"):
+                        self._sink(f, labels, code[j].line,
+                                   f"the simulator state member "
+                                   f"'{recv}' (via .{s}())")
+            return
+        if member and not this_call:
+            return  # unresolvable: a method of some other object
+        for g in self.resolve(s, qual, f.owner):
+            for k_idx, what in sorted(g.t_param_sink.items()):
+                if k_idx >= len(args):
+                    continue
+                labels = self._labels(f, env, args[k_idx])
+                if "src" in labels:
+                    self.found[(code[j].line,
+                                f"nondeterministic value passed as "
+                                f"argument {k_idx + 1} of {g.name}(), "
+                                f"which forwards it into "
+                                f"{what}")] = None
+                for lbl in labels:
+                    if isinstance(lbl, int):
+                        f.t_param_sink.setdefault(
+                            lbl, f"{g.name}() -> {what}")
+
+    def _labels(self, f, env, toks, depth=0):
+        """Taint labels of an expression token list: union over every
+        tainted name it contains, every source pattern, and the mapped
+        return summaries of resolvable calls."""
+        out = set()
+        if depth > 6:
+            return out
+        n = len(toks)
+        j = 0
+        while j < n:
+            t = toks[j]
+            if t.kind == "id":
+                if _source_at(toks, j, n, self.unordered):
+                    out.add("src")
+                prv = _tok_at(toks, j - 1)
+                is_field = prv == "." or (prv == ">" and
+                                          _tok_at(toks, j - 2) == "-")
+                if t.spelling in env and not is_field:
+                    out |= env[t.spelling]
+                if _tok_at(toks, j + 1) == "(" and \
+                        t.spelling not in _CONTROL:
+                    member = is_field
+                    this_call = (prv == ">" and
+                                 _tok_at(toks, j - 2) == "-" and
+                                 _tok_at(toks, j - 3) == "this")
+                    qual = None
+                    if (prv == ":" and _tok_at(toks, j - 2) == ":" and
+                            j >= 3 and toks[j - 3].kind == "id" and
+                            toks[j - 3].spelling != "std"):
+                        qual = toks[j - 3].spelling
+                    if not member or this_call:
+                        end = skip_balanced(toks, j + 1, "(", ")")
+                        if end is not None:
+                            args = (split_top_commas(
+                                toks[j + 2:end - 1])
+                                if end - 1 > j + 2 else [])
+                            for g in self.resolve(t.spelling, qual,
+                                                  f.owner):
+                                for r in g.t_returns:
+                                    if r == "src":
+                                        out.add("src")
+                                    elif (isinstance(r, int) and
+                                          r < len(args)):
+                                        out |= self._labels(
+                                            f, env, args[r],
+                                            depth + 1)
+            j += 1
+        return out
+
+
+def check_detflow(path, code, funcs, waived, findings):
+    if not path_in(path, DETERMINISTIC_DIRS):
+        return
+    for idx, tok in enumerate(code):
+        if tok.kind != "id" or tok.spelling not in UNORDERED_CONTAINERS:
+            continue
+        # `#include <unordered_map>` lexes as include '<' name '>'.
+        if (idx >= 2 and code[idx - 1].spelling == "<" and
+                code[idx - 2].spelling == "include"):
+            continue
+        if is_waived(waived, RULES["R9"], tok.line):
+            continue
+        findings.append(Finding(
+            path, tok.line, "R9",
+            f"std::{tok.spelling} in a deterministic directory: bucket "
+            f"iteration order depends on the hash function, insertion "
+            f"history, and stdlib version; use std::map/std::set, a "
+            f"sorted vector, or a dense index (waivable only for "
+            f"provably non-iterated lookup tables)"))
+    _TaintPass(path, code, funcs, collect_unordered_names(code),
+               waived).run(findings)
+
+
+# --------------------------------------------------------------------
+# R10 ansmet-checkpure: side effects inside ANSMET_DCHECK arguments
+# --------------------------------------------------------------------
+
+def check_dcheck_pure(path, code, waived, findings):
+    for idx, tok in enumerate(code):
+        if (tok.kind != "id" or
+                not tok.spelling.startswith(_DCHECK_PREFIX) or
+                _tok_at(code, idx + 1) != "("):
+            continue
+        end = skip_balanced(code, idx + 1, "(", ")")
+        if end is None:
+            continue
+        macro = tok.spelling
+        j = idx + 2
+        while j < end - 1:
+            t = code[j]
+            s = t.spelling
+            what = None
+            step = 1
+            if s in ("+", "-") and _tok_at(code, j + 1) == s:
+                what = f"'{s}{s}'"
+                step = 2
+            elif (s == "=" and _tok_at(code, j + 1) not in ("=", "]") and
+                  _tok_at(code, j - 1) not in ("=", "<", ">", "!", "[",
+                                               "operator")):
+                what = ("compound assignment"
+                        if _tok_at(code, j - 1) in "+-*/%&|^"
+                        else "assignment")
+            elif (t.kind == "id" and s in _MUTATING_METHODS and
+                  _tok_at(code, j + 1) == "(" and
+                  (_tok_at(code, j - 1) == "." or
+                   (_tok_at(code, j - 1) == ">" and
+                    _tok_at(code, j - 2) == "-"))):
+                what = f"mutating call .{s}()"
+            if what is not None and \
+                    not is_waived(waived, RULES["R10"], t.line):
+                findings.append(Finding(
+                    path, t.line, "R10",
+                    f"side effect ({what}) inside {macro}(): audit-off "
+                    f"builds skip the check's arguments entirely "
+                    f"(common/check.h), so the effect silently "
+                    f"disappears in release runs; hoist it out of the "
+                    f"check"))
+            j += step
+
+
+# --------------------------------------------------------------------
+# R11 ansmet-mustuse: discarded results of must-check calls
+# --------------------------------------------------------------------
+
+def _statement_discards(code, j):
+    """code[j] heads a must-check call whose value reaches an
+    expression-statement boundary; walk the receiver chain backwards
+    to decide whether the statement truly drops it (True) or this is a
+    declaration / consumed / (void)-acknowledged context (False)."""
+    while True:
+        if j == 0:
+            return True
+        p = code[j - 1]
+        s = p.spelling
+        # Step over a chain separator onto the receiver token.
+        recv = None
+        if s == ".":
+            recv = j - 2
+        elif s == ">" and j >= 2 and code[j - 2].spelling == "-":
+            recv = j - 3
+        elif s == ":" and j >= 2 and code[j - 2].spelling == ":":
+            recv = j - 3
+        if recv is not None:
+            if recv < 0:
+                return True
+            rt = code[recv]
+            if rt.kind in ("id", "kw"):
+                j = recv
+                continue
+            if rt.spelling == ")":
+                op = _match_backward(code, recv, "(", ")")
+                if op is None:
+                    return False
+                # Call-result receiver: get(...).tryPush(...).
+                if op > 0 and code[op - 1].kind in ("id", "kw"):
+                    j = op - 1
+                else:
+                    j = op  # parenthesized-expression receiver
+                continue
+            if rt.spelling == "]":
+                op = _match_backward(code, recv, "[", "]")
+                if op is None:
+                    return False
+                j = op
+                continue
+            return False
+        if p.kind in ("id", "kw"):
+            if s in _CONSUME_KEYWORDS:
+                return False
+            if s in _STMT_KEYWORDS:
+                return True
+            return False  # `Type name(` — a declaration, not a call
+        if s == "]":
+            op = _match_backward(code, j - 1, "[", "]")
+            if op is None:
+                return False
+            j = op  # receiver subscript: arr[i].tryPush(...)
+            continue
+        if s == ")":
+            op = _match_backward(code, j - 1, "(", ")")
+            if op is None:
+                return False
+            inner = code[op + 1:j - 1]
+            if len(inner) == 1 and inner[0].spelling == "void":
+                return False  # (void)x.f(...) — acknowledged discard
+            before = code[op - 1].spelling if op > 0 else ""
+            if before in ("if", "while", "for", "switch"):
+                return True  # un-braced control body: the call IS
+                #              the whole statement
+            if op > 0 and code[op - 1].kind in ("id", "kw"):
+                j = op - 1  # receiver is a call: get(...).tryPush(...)
+                continue
+            return False
+        if s in (";", "{", "}", ":"):
+            return True  # statement boundary reached: value dropped
+        return False  # some operator consumed the value
+
+
+def check_must_use(path, code, waived, findings):
+    n = len(code)
+    for idx, tok in enumerate(code):
+        if (tok.kind != "id" or tok.spelling not in MUST_CHECK or
+                _tok_at(code, idx + 1) != "("):
+            continue
+        end = skip_balanced(code, idx + 1, "(", ")")
+        if end is None or end >= n or code[end].spelling != ";":
+            continue  # consumed by the surrounding expression
+        if not _statement_discards(code, idx):
+            continue
+        if is_waived(waived, RULES["R11"], tok.line):
+            continue
+        findings.append(Finding(
+            path, tok.line, "R11",
+            f"discarded result of {tok.spelling}(): "
+            f"{MUST_CHECK[tok.spelling]}; branch on it, store it, or "
+            f"make the discard explicit with (void)"))
+
+
+# --------------------------------------------------------------------
+# R12 ansmet-cbblock: blocking inside deferred callbacks
+# --------------------------------------------------------------------
+
+def _local_lock_trans(funcs):
+    """File-local transitive may-acquire sets, propagated with the same
+    call-resolution discipline as the global lock-order pass but
+    restricted to this file's definitions (keeps per-file results
+    cacheable; cross-file blocking is deliberately unresolved)."""
+    by_last = {}
+    for f in funcs:
+        by_last.setdefault(f.name.split("::")[-1], []).append(f)
+
+    def resolve(callee, qual, caller_owner):
+        out = []
+        for g in by_last.get(callee, ()):
+            if qual is not None:
+                if g.owner == qual:
+                    out.append(g)
+            elif g.owner is None or g.owner == caller_owner:
+                out.append(g)
+        return out
+
+    trans = {id(f): {a[0] for a in f.acquisitions} for f in funcs}
+    for _ in range(16):
+        changed = False
+        for f in funcs:
+            for callee, qual, _, _ in f.calls:
+                for g in resolve(callee, qual, f.owner):
+                    add = trans[id(g)] - trans[id(f)]
+                    if add:
+                        trans[id(f)] |= add
+                        changed = True
+        if not changed:
+            break
+    return trans, resolve
+
+
+def _scan_callback_body(path, code, lo, hi, what, owner, trans, resolve,
+                        waived, findings):
+    j = lo
+    while j < hi:
+        t = code[j]
+        s = t.spelling
+        if (t.kind == "id" and s in LOCK_CLASSES and j + 2 < hi and
+                code[j + 1].kind == "id" and
+                _tok_at(code, j + 2) in ("(", "{")):
+            if not is_waived(waived, RULES["R12"], t.line):
+                findings.append(Finding(
+                    path, t.line, "R12",
+                    f"{s} acquired inside a deferred {what} callback: "
+                    f"the simulation thread must never block in an "
+                    f"event; read through atomics or the seqlock "
+                    f"pattern instead"))
+            j += 3
+            continue
+        if (t.kind == "id" and s in _BLOCKING_WAITS and
+                _tok_at(code, j + 1) == "(" and
+                (_tok_at(code, j - 1) == "." or
+                 (_tok_at(code, j - 1) == ">" and
+                  _tok_at(code, j - 2) == "-"))):
+            if not is_waived(waived, RULES["R12"], t.line):
+                findings.append(Finding(
+                    path, t.line, "R12",
+                    f".{s}() parks the simulation thread inside a "
+                    f"deferred {what} callback; events must complete "
+                    f"without blocking"))
+            j += 1
+            continue
+        if (t.kind == "id" and s not in _CONTROL and
+                _tok_at(code, j + 1) == "("):
+            prv = _tok_at(code, j - 1)
+            member = prv == "." or (prv == ">" and
+                                    _tok_at(code, j - 2) == "-")
+            this_call = (member and prv == ">" and
+                         _tok_at(code, j - 3) == "this")
+            qual = None
+            if (prv == ":" and _tok_at(code, j - 2) == ":" and
+                    j >= 3 and code[j - 3].kind == "id" and
+                    code[j - 3].spelling != "std"):
+                qual = code[j - 3].spelling
+            if not member or this_call:
+                for g in resolve(s, qual, owner):
+                    locks = trans.get(id(g), set())
+                    if locks and not is_waived(waived, RULES["R12"],
+                                               t.line):
+                        findings.append(Finding(
+                            path, t.line, "R12",
+                            f"call to {g.name}() inside a deferred "
+                            f"{what} callback acquires "
+                            f"{sorted(locks)[0]} (file-local "
+                            f"analysis): events must complete without "
+                            f"blocking"))
+                        break
+        j += 1
+
+
+def check_cb_block(path, code, funcs, waived, findings):
+    if not path_in(path, SIM_HOT_DIRS):
+        return
+    trans, resolve = _local_lock_trans(funcs)
+
+    def owner_at(k):
+        for f in funcs:
+            lo, hi = f.body
+            if lo <= k < hi:
+                return f.owner
+        return None
+
+    for lo, hi, what in _callback_sink_ranges(code):
+        j = lo
+        while j < hi:
+            t = code[j]
+            if t.spelling != "[":
+                j += 1
+                continue
+            prev = code[j - 1] if j > 0 else None
+            if prev is not None and (prev.kind in ("id", "literal") or
+                                     prev.spelling in (")", "]")):
+                j += 1  # subscript, not a lambda introducer
+                continue
+            cap_end = skip_balanced(code, j, "[", "]")
+            if cap_end is None:
+                j += 1
+                continue
+            k = cap_end
+            if _tok_at(code, k) == "(":
+                k = skip_balanced(code, k, "(", ")") or hi
+            while k < hi and code[k].spelling not in ("{", ",", ";"):
+                k += 1  # mutable / noexcept / -> Ret before the body
+            if k >= hi or code[k].spelling != "{":
+                j = cap_end
+                continue
+            body_end = skip_balanced(code, k, "{", "}")
+            if body_end is None or body_end > hi + 1:
+                body_end = hi
+            _scan_callback_body(path, code, k + 1, body_end - 1, what,
+                                owner_at(j), trans, resolve, waived,
+                                findings)
+            j = body_end
+
+
+# --------------------------------------------------------------------
 # Per-file rule driver
 # --------------------------------------------------------------------
 
@@ -1152,6 +1997,8 @@ def lint_file(path, repo_root, tokens):
     rel = os.path.relpath(path, repo_root)
     findings = []
     waived = suppressed_lines(tokens)
+    code = code_tokens(tokens)
+    funcs = parse_lock_functions(rel, tokens, code)
     check_determinism(rel, tokens, waived, findings)
     check_raw_new_delete(rel, tokens, waived, findings)
     check_nolint_justified(rel, tokens, findings)
@@ -1159,13 +2006,171 @@ def lint_file(path, repo_root, tokens):
     check_event_capture(rel, tokens, waived, findings)
     check_tick_units(rel, tokens, waived, findings)
     check_dangle_capture(rel, tokens, waived, findings)
-    funcs = parse_lock_functions(rel, tokens)
+    check_detflow(rel, code, funcs, waived, findings)
+    check_dcheck_pure(rel, code, waived, findings)
+    check_must_use(rel, code, waived, findings)
+    check_cb_block(rel, code, funcs, waived, findings)
     return findings, funcs, waived
+
+
+# --------------------------------------------------------------------
+# SARIF output
+# --------------------------------------------------------------------
+
+def sarif_report(findings, engine):
+    """SARIF 2.1.0 log for code-scanning upload; same findings, same
+    order as the text report."""
+    rules = [{
+        "id": f"{rid}/{name}",
+        "name": name,
+        "shortDescription": {"text": name},
+        "defaultConfiguration": {"level": "error"},
+    } for rid, name in RULES.items()]
+    results = [{
+        "ruleId": f"{f.rule}/{RULES[f.rule]}",
+        "ruleIndex": list(RULES).index(f.rule),
+        "level": "error",
+        "message": {"text": f.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": f.path.replace(os.sep, "/"),
+                },
+                "region": {"startLine": max(1, f.line)},
+            },
+        }],
+    } for f in findings]
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "ansmet_lint",
+                "informationUri":
+                    "https://github.com/ansmet/ansmet"
+                    "/blob/main/tools/ansmet_lint.py",
+                "version": "1.0.0",
+                "rules": rules,
+            }},
+            "columnKind": "utf16CodeUnits",
+            "properties": {"engine": engine},
+            "results": results,
+        }],
+    }
+
+
+# --------------------------------------------------------------------
+# Per-file result cache
+# --------------------------------------------------------------------
+
+_FINGERPRINT = None
+
+
+def _ruleset_fingerprint():
+    """Hash of this script itself: any rule change invalidates every
+    cached entry."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import hashlib
+        try:
+            with open(os.path.abspath(__file__), "rb") as f:
+                _FINGERPRINT = hashlib.sha256(f.read()).hexdigest()
+        except OSError:
+            _FINGERPRINT = "unknown"
+    return _FINGERPRINT
+
+
+def _cache_path(repo_root, rel, text, engine):
+    import hashlib
+    h = hashlib.sha256()
+    for part in (rel.replace(os.sep, "/"), engine,
+                 _ruleset_fingerprint()):
+        h.update(part.encode("utf-8"))
+        h.update(b"\0")
+    h.update(text.encode("utf-8", "replace"))
+    return os.path.join(repo_root, ".ansmet_cache", "lint",
+                        h.hexdigest()[:40] + ".json")
+
+
+def _serialize_entry(findings, funcs, waived):
+    return {
+        "findings": [[f.line, f.rule, f.message] for f in findings],
+        "funcs": [{
+            "name": g.name,
+            "owner": g.owner,
+            "requires": sorted(g.requires),
+            "acquisitions": [[lk, ln, sorted(held)]
+                             for lk, ln, held in g.acquisitions],
+            "calls": [[c, q, ln, sorted(held)]
+                      for c, q, ln, held in g.calls],
+        } for g in funcs],
+        "waived": {k: sorted(v) for k, v in waived.items()},
+    }
+
+
+def _deserialize_entry(rel, entry):
+    findings = [Finding(rel, ln, rule, msg)
+                for ln, rule, msg in entry["findings"]]
+    funcs = []
+    for d in entry["funcs"]:
+        g = FuncInfo(d["name"], d["owner"], rel)
+        g.requires = set(d["requires"])
+        g.acquisitions = [(lk, ln, frozenset(held))
+                          for lk, ln, held in d["acquisitions"]]
+        g.calls = [(c, q, ln, frozenset(held))
+                   for c, q, ln, held in d["calls"]]
+        funcs.append(g)
+    waived = {k: set(v) for k, v in entry["waived"].items()}
+    return findings, funcs, waived
+
+
+def _cache_load(cpath):
+    try:
+        with open(cpath, encoding="utf-8") as f:
+            entry = json.load(f)
+        if not all(k in entry for k in ("findings", "funcs", "waived")):
+            return None
+        return entry
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _cache_store(cpath, entry):
+    try:
+        os.makedirs(os.path.dirname(cpath), exist_ok=True)
+        tmp = f"{cpath}.tmp{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(entry, f)
+        os.replace(tmp, cpath)
+    except OSError:
+        pass  # caching is best-effort; never fail the lint for it
 
 
 # --------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------
+
+def git_changed_files(repo_root):
+    """Absolute paths of files changed vs HEAD plus untracked files,
+    or None when git is unavailable."""
+    import subprocess
+    names = set()
+    for args in (["diff", "--name-only", "HEAD"],
+                 ["ls-files", "--others", "--exclude-standard"]):
+        try:
+            r = subprocess.run(["git", "-C", repo_root] + args,
+                               capture_output=True, text=True,
+                               timeout=30)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if r.returncode != 0:
+            return None
+        names.update(ln.strip() for ln in r.stdout.splitlines()
+                     if ln.strip())
+    return {os.path.abspath(os.path.join(repo_root, nm))
+            for nm in names}
+
 
 def collect_files(repo_root, paths):
     if paths:
@@ -1188,7 +2193,7 @@ def collect_files(repo_root, paths):
 
 def main(argv=None):
     ap = argparse.ArgumentParser(
-        description="ANSMET determinism/style linter (rules R1-R8)")
+        description="ANSMET determinism/style linter (rules R1-R12)")
     ap.add_argument("paths", nargs="*",
                     help="files or directories (default: <repo>/src)")
     ap.add_argument("--repo", default=None,
@@ -1201,6 +2206,20 @@ def main(argv=None):
                     help="auto: libclang when importable, else the "
                          "built-in lexer; libclang: require it and "
                          "SKIP (exit 0) when absent")
+    ap.add_argument("--format", choices=("text", "sarif"),
+                    default="text",
+                    help="report format (sarif = SARIF 2.1.0 for "
+                         "code-scanning upload)")
+    ap.add_argument("--output", default=None,
+                    help="write the report to FILE instead of stdout")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="disable the per-file result cache under "
+                         "<repo>/.ansmet_cache/lint/")
+    ap.add_argument("--changed-only", action="store_true",
+                    help="lint only files changed vs git HEAD (plus "
+                         "untracked); the cross-file lock-order pass "
+                         "then sees only those files — CI runs the "
+                         "full scan")
     ap.add_argument("--list-rules", action="store_true",
                     help="print the rule table and exit")
     args = ap.parse_args(argv)
@@ -1229,7 +2248,20 @@ def main(argv=None):
                   "findings are a superset of the AST engine's)",
                   file=sys.stderr)
 
+    engine = "libclang" if cindex is not None else "lexical"
     files = collect_files(repo_root, args.paths)
+    if args.changed_only:
+        changed = git_changed_files(repo_root)
+        if changed is None:
+            print("ansmet_lint: git diff unavailable; linting "
+                  "everything", file=sys.stderr)
+        else:
+            files = [p for p in files
+                     if os.path.abspath(p) in changed]
+            if not files:
+                print(f"ansmet_lint: no changed files "
+                      f"({engine} engine)")
+                return 0
     if not files:
         print("ansmet_lint: no input files", file=sys.stderr)
         return 2
@@ -1244,6 +2276,16 @@ def main(argv=None):
             print(f"ansmet_lint: cannot read {path}: {e}",
                   file=sys.stderr)
             return 2
+        rel = os.path.relpath(path, repo_root)
+        cpath = None
+        if not args.no_cache:
+            cpath = _cache_path(repo_root, rel, text, engine)
+            entry = _cache_load(cpath)
+            if entry is not None:
+                cached, funcs, waived = _deserialize_entry(rel, entry)
+                findings.extend(cached)
+                lock_facts.append((rel, funcs, waived))
+                continue
         tu = None
         if cindex is not None:
             try:
@@ -1262,19 +2304,35 @@ def main(argv=None):
         if tu is not None:
             file_findings = ast_refine(cindex, tu, file_findings)
         findings.extend(file_findings)
-        lock_facts.append((os.path.relpath(path, repo_root), funcs,
-                           waived))
+        lock_facts.append((rel, funcs, waived))
+        if cpath is not None:
+            _cache_store(cpath, _serialize_entry(file_findings, funcs,
+                                                 waived))
     check_lock_order(lock_facts, findings)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    for finding in findings:
-        print(finding.render())
-    engine = "libclang" if cindex is not None else "lexical"
+    out = open(args.output, "w", encoding="utf-8") \
+        if args.output else sys.stdout
+    try:
+        if args.format == "sarif":
+            json.dump(sarif_report(findings, engine), out, indent=2)
+            out.write("\n")
+        else:
+            for finding in findings:
+                print(finding.render(), file=out)
+            if not findings:
+                print(f"ansmet_lint: clean ({len(files)} files, "
+                      f"{engine} engine)", file=out)
+    finally:
+        if args.output:
+            out.close()
     if findings:
         print(f"ansmet_lint: {len(findings)} finding(s) over "
               f"{len(files)} files ({engine} engine)", file=sys.stderr)
         return 1
-    print(f"ansmet_lint: clean ({len(files)} files, {engine} engine)")
+    if args.format == "sarif":
+        print(f"ansmet_lint: clean ({len(files)} files, "
+              f"{engine} engine)", file=sys.stderr)
     return 0
 
 

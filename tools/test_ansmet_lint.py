@@ -2,16 +2,19 @@
 """Unit tests for tools/ansmet_lint.py (stdlib unittest only).
 
 Run directly:  python3 tools/test_ansmet_lint.py
-Each rule R1-R8 gets a triggering fixture and a passing fixture, plus
+Each rule R1-R12 gets a triggering fixture and a passing fixture, plus
 a waiver fixture for the semantic rules, tests for the NOLINT
 suppression mechanics, lexer regressions (spliced comments, raw
-strings, digit separators), the forced-libclang skip path, and a clean
-run over the real tree.
+strings, digit separators), the forced-libclang skip path, the SARIF
+and cache/--changed-only driver paths, and a clean run over the real
+tree.
 """
 
 import contextlib
 import io
+import json
 import os
+import subprocess
 import sys
 import tempfile
 import unittest
@@ -40,9 +43,10 @@ class LintRunMixin:
             f.write(text)
         return path
 
-    def run_lint(self, *paths, engine="lexical"):
+    def run_lint(self, *paths, engine="lexical", extra=()):
         out, err = io.StringIO(), io.StringIO()
-        argv = ["--engine", engine, "--repo", self.root, *paths]
+        argv = ["--engine", engine, "--repo", self.root, *extra,
+                *paths]
         with contextlib.redirect_stdout(out), \
                 contextlib.redirect_stderr(err):
             code = ansmet_lint.main(argv)
@@ -573,6 +577,349 @@ class R8DangleCaptureTest(LintRunMixin, unittest.TestCase):
         self.assertEqual(code, 0)
 
 
+class R9DetflowTest(LintRunMixin, unittest.TestCase):
+    def test_unordered_decl_in_det_dir_flags(self):
+        p = self.write(
+            "src/et/cache.h",
+            "#include <unordered_map>\n"
+            "struct C { std::unordered_map<int, int> seen_; };\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-detflow", out)
+        self.assertIn("iteration order", out)
+        # The #include line itself is exempt; only the use flags.
+        self.assertIn("cache.h:2:", out)
+        self.assertNotIn("cache.h:1:", out)
+
+    def test_unordered_outside_det_dirs_passes(self):
+        p = self.write(
+            "src/common/registry.h",
+            "#include <unordered_map>\n"
+            "struct R { std::unordered_map<int, int> by_id_; };\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_ordered_map_iteration_passes(self):
+        p = self.write(
+            "src/anns/graph.cc",
+            "#include <map>\n"
+            "void f(std::map<int, int> &m, std::vector<int> &out) {\n"
+            "    for (const auto &kv : m) out.push_back(kv.first);\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_cross_function_taint_chain_flags(self):
+        # source (pointer bits) -> return -> argument -> sink inside
+        # the callee: the chain spans three functions in one file.
+        p = self.write(
+            "src/anns/sched.cc",
+            "struct Sched {\n"
+            "    uint64_t key(void *p) {\n"
+            "        return reinterpret_cast<uint64_t>(p);\n"
+            "    }\n"
+            "    void submit(uint64_t t) {\n"
+            "        eq_.scheduleIn(TickDelta{t}, [] {});\n"
+            "    }\n"
+            "    void go(void *p) { submit(key(p)); }\n"
+            "    EventQueue eq_;\n"
+            "};\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-detflow", out)
+        self.assertIn("argument 1 of Sched::submit()", out)
+        self.assertIn("event scheduling", out)
+        self.assertIn("sched.cc:8:", out)
+
+    def test_range_for_over_unordered_taints_state_write(self):
+        p = self.write(
+            "src/anns/walk.cc",
+            "struct G {\n"
+            "    // NOLINTNEXTLINE(ansmet-detflow): fixture decl only.\n"
+            "    std::unordered_map<int, int> links_;\n"
+            "    std::vector<int> order_;\n"
+            "    void walk() {\n"
+            "        for (const auto &kv : links_)\n"
+            "            order_.push_back(kv.first);\n"
+            "    }\n"
+            "};\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("'order_'", out)
+        self.assertIn("walk.cc:7:", out)
+
+    def test_thread_id_into_obs_record_flags(self):
+        p = self.write(
+            "src/sim/stats.cc",
+            "void f(Histo &h) {\n"
+            "    auto id = std::this_thread::get_id();\n"
+            "    h.record(id);\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("obs-recorded value", out)
+
+    def test_lookup_only_use_does_not_taint(self):
+        # find()/count() lookups are value-keyed, not order-dependent;
+        # with the declaration waived the taint pass stays silent.
+        p = self.write(
+            "src/et/lut.cc",
+            "struct T {\n"
+            "    // NOLINTNEXTLINE(ansmet-detflow): lookup-only table, "
+            "never iterated.\n"
+            "    std::unordered_map<int, int> lut_;\n"
+            "    void f(Q &q, int k) {\n"
+            "        auto it = lut_.find(k);\n"
+            "        q.scheduleIn(TickDelta{it->second}, [] {});\n"
+            "    }\n"
+            "};\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_waiver_with_justification_passes(self):
+        p = self.write(
+            "src/anns/sched.cc",
+            "struct S {\n"
+            "    void go(void *p) {\n"
+            "        // NOLINTNEXTLINE(ansmet-detflow): dedup key only, "
+            "never ordered.\n"
+            "        id_ = reinterpret_cast<uint64_t>(p);\n"
+            "    }\n"
+            "    uint64_t id_;\n"
+            "};\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
+class R10CheckPureTest(LintRunMixin, unittest.TestCase):
+    def test_dcheck_with_pop_flags(self):
+        # Regression: a DCHECK that pops the queue it is auditing
+        # drains it only when audits are ON.
+        p = self.write(
+            "src/sim/queue.cc",
+            "void f(Q &q) {\n"
+            "    ANSMET_DCHECK(q.pop() > 0, \"drained in order\");\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-checkpure", out)
+        self.assertIn(".pop()", out)
+        self.assertIn("audit-off", out)
+
+    def test_increment_flags(self):
+        p = self.write(
+            "src/common/count.cc",
+            "void f(int n) { ANSMET_DCHECK(++n < 5, \"limit\"); }\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("'++'", out)
+
+    def test_assignment_flags(self):
+        p = self.write(
+            "src/common/assign.cc",
+            "void f(int n, int m) { ANSMET_DCHECK(n = m, \"typo\"); }\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("assignment", out)
+
+    def test_pure_comparisons_pass(self):
+        p = self.write(
+            "src/sim/queue.cc",
+            "void f(const Q &q, int lo, int hi) {\n"
+            "    ANSMET_DCHECK(q.size() <= 64, \"bounded\");\n"
+            "    ANSMET_DCHECK(lo == 0 || lo != hi, \"range\");\n"
+            "    ANSMET_DCHECK(q.front() >= lo && q.back() < hi);\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_always_on_check_is_exempt(self):
+        # ANSMET_CHECK evaluates in every build; side effects there
+        # are a style question, not a silent-divergence bug.
+        p = self.write(
+            "src/serve/adm.cc",
+            "void f(S &s, uint64_t id) {\n"
+            "    ANSMET_CHECK(s.ids.insert(id).second, \"dup\");\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_waiver_with_justification_passes(self):
+        p = self.write(
+            "src/sim/queue.cc",
+            "void f(Prng &r) {\n"
+            "    // NOLINTNEXTLINE(ansmet-checkpure): audit builds only "
+            "sample the stream.\n"
+            "    ANSMET_DCHECK(r.next() != 0, \"stream alive\");\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
+class R11MustUseTest(LintRunMixin, unittest.TestCase):
+    def test_bare_trypush_discard_flags(self):
+        p = self.write(
+            "src/common/chan.cc",
+            "void f(Chan &ch) {\n"
+            "    ch.tryPush(7);\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-mustuse", out)
+        self.assertIn("tryPush", out)
+        self.assertIn("NOT enqueued", out)
+
+    def test_bare_cancelable_schedule_discard_flags(self):
+        p = self.write(
+            "src/sim/arm.cc",
+            "void f(Q &q, Tick t) {\n"
+            "    q.scheduleCancelable(t, [] {});\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("scheduleCancelable", out)
+        self.assertIn("descheduled", out)
+
+    def test_checked_and_stored_results_pass(self):
+        p = self.write(
+            "src/common/chan.cc",
+            "bool f(Chan &ch, Q &q, Tick t, Hist &h) {\n"
+            "    if (!ch.tryPush(7)) return false;\n"
+            "    const bool ok = ch.tryPush(8);\n"
+            "    auto handle = q.scheduleCancelable(t, [] {});\n"
+            "    use(handle, h.quantile(0.99));\n"
+            "    return ok && ch.tryPush(9);\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_void_cast_acknowledges_discard(self):
+        p = self.write(
+            "src/common/chan.cc",
+            "void f(Chan &ch) {\n"
+            "    (void)ch.tryPush(7);\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_declaration_is_not_a_discard(self):
+        p = self.write(
+            "src/common/chan.h",
+            "struct Chan {\n"
+            "    [[nodiscard]] bool tryPush(int v);\n"
+            "    bool tryOffer(uint64_t id, size_t i, Tick now);\n"
+            "};\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_unbraced_if_body_discard_flags(self):
+        p = self.write(
+            "src/common/chan.cc",
+            "void f(Chan &ch, bool urgent) {\n"
+            "    if (urgent) ch.tryPush(7);\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-mustuse", out)
+
+    def test_waiver_with_justification_passes(self):
+        p = self.write(
+            "src/common/chan.cc",
+            "void f(Chan &ch) {\n"
+            "    // NOLINTNEXTLINE(ansmet-mustuse): best-effort wake; "
+            "drop is benign here.\n"
+            "    ch.tryPush(7);\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
+class R12CbBlockTest(LintRunMixin, unittest.TestCase):
+    def test_mutexlock_in_schedule_callback_flags(self):
+        p = self.write(
+            "src/sim/pump.cc",
+            "void f(Q &q, Tick t) {\n"
+            "    q.schedule(t, [this] {\n"
+            "        MutexLock lk(mu_);\n"
+            "        drain();\n"
+            "    });\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-cbblock", out)
+        self.assertIn("MutexLock", out)
+        self.assertIn("pump.cc:3:", out)
+
+    def test_wait_in_oncomplete_flags(self):
+        p = self.write(
+            "src/ndp/task.cc",
+            "void f(NdpTask &t, TaskGroup &grp) {\n"
+            "    t.onComplete = [this] { grp_.wait(); };\n"
+            "}\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn(".wait()", out)
+        self.assertIn("onComplete", out)
+
+    def test_transitive_local_call_flags(self):
+        p = self.write(
+            "src/dram/ctrl.cc",
+            "struct Ctrl {\n"
+            "    void lockedTouch() { MutexLock lk(mu_); ++gen_; }\n"
+            "    void arm(Tick t) {\n"
+            "        eq_.schedule(t, [this] { lockedTouch(); });\n"
+            "    }\n"
+            "};\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("Ctrl::lockedTouch()", out)
+        self.assertIn("file-local", out)
+
+    def test_lock_outside_callback_passes(self):
+        p = self.write(
+            "src/sim/pump.cc",
+            "void f(Q &q, Tick t) {\n"
+            "    { MutexLock lk(mu_); prime(); }\n"
+            "    q.schedule(t, [this] { drainAtomics(); });\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_atomic_reads_in_callback_pass(self):
+        p = self.write(
+            "src/sim/pump.cc",
+            "void f(Q &q, Tick t) {\n"
+            "    q.schedule(t, [this] {\n"
+            "        auto v = gen_.load(std::memory_order_acquire);\n"
+            "        use(v);\n"
+            "    });\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_non_hot_dir_is_exempt(self):
+        p = self.write(
+            "src/serve/eng.cc",
+            "void f(Q &q, Tick t) {\n"
+            "    q.schedule(t, [this] { MutexLock lk(mu_); });\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+    def test_waiver_with_justification_passes(self):
+        p = self.write(
+            "src/sim/pump.cc",
+            "void f(Q &q, Tick t) {\n"
+            "    q.schedule(t, [this] {\n"
+            "        // NOLINTNEXTLINE(ansmet-cbblock): uncontended "
+            "shutdown-only path.\n"
+            "        MutexLock lk(mu_);\n"
+            "    });\n"
+            "}\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+
+
 class LexerRegressionTest(LintRunMixin, unittest.TestCase):
     def test_line_spliced_comment_stays_a_comment(self):
         # A backslash-newline extends a // comment onto the next line;
@@ -677,8 +1024,130 @@ class EngineAndDriverTest(LintRunMixin, unittest.TestCase):
         for name in ("ansmet-determinism", "ansmet-rawnew",
                      "ansmet-nolint", "ansmet-rawsync",
                      "ansmet-eventcapture", "ansmet-tickunits",
-                     "ansmet-lockorder", "ansmet-danglecapture"):
+                     "ansmet-lockorder", "ansmet-danglecapture",
+                     "ansmet-detflow", "ansmet-checkpure",
+                     "ansmet-mustuse", "ansmet-cbblock"):
             self.assertIn(name, out.getvalue())
+
+
+class SarifOutputTest(LintRunMixin, unittest.TestCase):
+    def test_sarif_findings_parse_and_carry_rule_ids(self):
+        p = self.write(
+            "src/common/chan.cc",
+            "void f(Chan &ch) {\n"
+            "    ch.tryPush(7);\n"
+            "}\n")
+        code, out, _ = self.run_lint(p, extra=("--format", "sarif"))
+        self.assertEqual(code, 1)
+        doc = json.loads(out)
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "ansmet_lint")
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        self.assertEqual(len(rule_ids), 12)
+        self.assertIn("R11/ansmet-mustuse", rule_ids)
+        res = run["results"][0]
+        self.assertEqual(res["ruleId"], "R11/ansmet-mustuse")
+        self.assertEqual(rule_ids[res["ruleIndex"]], res["ruleId"])
+        loc = res["locations"][0]["physicalLocation"]
+        self.assertTrue(
+            loc["artifactLocation"]["uri"].endswith("chan.cc"))
+        self.assertEqual(loc["region"]["startLine"], 2)
+
+    def test_sarif_clean_run_emits_valid_empty_log(self):
+        p = self.write("src/common/ok.cc", "void f() {}\n")
+        code, out, _ = self.run_lint(p, extra=("--format", "sarif"))
+        self.assertEqual(code, 0)
+        doc = json.loads(out)
+        self.assertEqual(doc["runs"][0]["results"], [])
+
+    def test_sarif_output_file(self):
+        p = self.write("src/common/ok.cc", "void f() {}\n")
+        dest = os.path.join(self.root, "lint.sarif")
+        code, _, _ = self.run_lint(
+            p, extra=("--format", "sarif", "--output", dest))
+        self.assertEqual(code, 0)
+        with open(dest, encoding="utf-8") as fh:
+            self.assertEqual(json.load(fh)["version"], "2.1.0")
+
+
+class CacheTest(LintRunMixin, unittest.TestCase):
+    """The cache must be invisible: warm runs bitwise-match cold runs,
+    including R7 findings that depend on cross-file lock facts."""
+
+    CYCLE = {
+        "src/sim/a.cc":
+            "void fa() { MutexLock a(mu_a_); takeB(); }\n",
+        "src/sim/b.cc":
+            "void takeB() { MutexLock b(mu_b_); takeA(); }\n"
+            "void takeA() { MutexLock a(mu_a_); }\n",
+    }
+
+    def test_warm_run_is_bitwise_identical_and_keeps_r7(self):
+        paths = [self.write(rel, text)
+                 for rel, text in sorted(self.CYCLE.items())]
+        cold = self.run_lint(*paths)
+        cache_dir = os.path.join(self.root, ".ansmet_cache", "lint")
+        self.assertTrue(os.path.isdir(cache_dir))
+        self.assertGreaterEqual(len(os.listdir(cache_dir)), 2)
+        warm = self.run_lint(*paths)
+        self.assertEqual(cold, warm)
+        self.assertEqual(cold[0], 1)
+        self.assertIn("ansmet-lockorder", warm[1])
+
+    def test_no_cache_flag_leaves_no_cache_dir(self):
+        p = self.write("src/common/ok.cc", "void f() {}\n")
+        code, _, _ = self.run_lint(p, extra=("--no-cache",))
+        self.assertEqual(code, 0)
+        self.assertFalse(
+            os.path.exists(os.path.join(self.root, ".ansmet_cache")))
+
+    def test_edit_invalidates_entry(self):
+        p = self.write("src/common/chan.cc",
+                       "void f(Chan &ch) { (void)ch.tryPush(7); }\n")
+        code, _, _ = self.run_lint(p)
+        self.assertEqual(code, 0)
+        p = self.write("src/common/chan.cc",
+                       "void f(Chan &ch) { ch.tryPush(7); }\n")
+        code, out, _ = self.run_lint(p)
+        self.assertEqual(code, 1)
+        self.assertIn("ansmet-mustuse", out)
+
+
+class ChangedOnlyTest(LintRunMixin, unittest.TestCase):
+    def _git(self, *argv):
+        subprocess.run(
+            ["git", *argv], cwd=self.root, check=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+    def test_changed_only_lints_just_dirty_files(self):
+        clean = self.write("src/sim/clean.cc",
+                           "void f(int n) { volatile int x = n; }\n")
+        self._git("init", "-q")
+        self._git("-c", "user.email=l@t", "-c", "user.name=t",
+                  "commit", "-q", "--allow-empty", "-m", "seed")
+        self._git("add", "src/sim/clean.cc")
+        self._git("-c", "user.email=l@t", "-c", "user.name=t",
+                  "commit", "-q", "-m", "clean file")
+        # Committed file now grows a violation, but stays unstaged-free:
+        # it must NOT be scanned under --changed-only.
+        dirty = self.write("src/sim/dirty.cc",
+                           "void g(Chan &ch) { ch.tryPush(1); }\n")
+        code, out, _ = self.run_lint(
+            clean, dirty, extra=("--changed-only",))
+        self.assertEqual(code, 1)
+        self.assertIn("dirty.cc", out)
+        self.assertNotIn("clean.cc:", out)
+
+    def test_changed_only_with_no_changes_is_clean(self):
+        p = self.write("src/sim/clean.cc", "void f() {}\n")
+        self._git("init", "-q")
+        self._git("add", "-A")
+        self._git("-c", "user.email=l@t", "-c", "user.name=t",
+                  "commit", "-q", "-m", "all clean")
+        code, out, _ = self.run_lint(p, extra=("--changed-only",))
+        self.assertEqual(code, 0)
+        self.assertIn("no changed files", out)
 
 
 class RealTreeTest(unittest.TestCase):
